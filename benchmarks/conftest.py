@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark suite (pytest-benchmark).
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — image-size divisor for a quick pass (e.g. ``2``
+  halves every input resolution). Default 1 = the paper's full resolutions.
+* ``REPRO_BENCH_ROUNDS`` — timing rounds per cell (default 3).
+
+Results for the recorded full-resolution run live in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.models import zoo
+
+
+def bench_rounds() -> int:
+    return int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))
+
+
+def scaled_image_size(model_name: str) -> int | None:
+    """The benchmark input resolution for a model, honouring the scale knob."""
+    scale = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+    if scale <= 1:
+        return None  # canonical resolution
+    size = zoo.get_entry(model_name).image_size // scale
+    return max(size, 64 if model_name == "inception-v3" else 32)
+
+
+@pytest.fixture
+def rounds() -> int:
+    return bench_rounds()

@@ -1,0 +1,81 @@
+"""Ablation: cheap-convolution substitution (Moonshine blocks, paper ref [6]).
+
+Two of the paper's claims meet here:
+
+* the introduction's motivation (via Turner et al. [1]): compression-style
+  optimisations "may not work as expected at system level" — the cheapened
+  network has ~7x fewer MACs yet its measured inference time barely moves,
+  because depthwise layers are memory-bound;
+* Section II's observation that TVM's schedules handle cheap blocks poorly
+  — the substitution removes the 3x3 layers its Winograd/spatial-pack
+  schedules win on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_rounds
+from repro.analysis import count_graph
+from repro.bench.workloads import model_input
+from repro.frameworks import get_adapter
+from repro.models import zoo
+from repro.passes import cheapen_convolutions, default_pipeline
+from repro.runtime.session import InferenceSession
+
+
+@pytest.fixture(scope="module")
+def wrn_variants():
+    standard = default_pipeline().run(zoo.build("wrn-40-2"))
+    cheap, report = cheapen_convolutions(standard)
+    assert report.replaced >= 30
+    return {"standard": standard, "cheap": cheap}
+
+
+@pytest.mark.parametrize("variant", ["standard", "cheap"])
+def test_wrn_variant_time(benchmark, wrn_variants, variant):
+    graph = wrn_variants[variant]
+    session = InferenceSession(graph, optimize=False, threads=1)
+    feed = {"input": model_input("wrn-40-2")}
+    session.run(feed)
+    benchmark.group = "cheap-convs:wrn-40-2"
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["macs"] = count_graph(graph).total_macs
+    benchmark.pedantic(session.run, args=(feed,),
+                       rounds=bench_rounds(), warmup_rounds=1)
+
+
+@pytest.mark.parametrize("framework", ["orpheus", "tvm"])
+def test_cheapened_wrn_per_framework(benchmark, wrn_variants, framework):
+    """The Section II claim: TVM's edge evaporates on cheap blocks."""
+    graph = wrn_variants["cheap"]
+    adapter = get_adapter(framework)
+    if framework == "tvm":
+        from repro.runtime.autotune import autotune
+        overrides = autotune(graph, adapter._CANDIDATES, repeats=2)
+        backend = adapter.backend.with_overrides(overrides)
+    else:
+        backend = adapter.backend
+    session = InferenceSession(graph, backend=backend, optimize=False,
+                               threads=1)
+    feed = {"input": model_input("wrn-40-2")}
+    session.run(feed)
+    benchmark.group = "cheap-convs:wrn-40-2-by-framework"
+    benchmark.extra_info["framework"] = framework
+    benchmark.pedantic(session.run, args=(feed,),
+                       rounds=bench_rounds(), warmup_rounds=1)
+
+
+def test_macs_drop_but_memory_traffic_does_not():
+    """The system-level compression paradox, in numbers."""
+    standard = default_pipeline().run(zoo.build("wrn-40-2"))
+    cheap, report = cheapen_convolutions(standard)
+    standard_cost = count_graph(standard)
+    cheap_cost = count_graph(cheap)
+    macs_ratio = cheap_cost.total_macs / standard_cost.total_macs
+    traffic_ratio = (cheap_cost.activation_bytes
+                     / standard_cost.activation_bytes)
+    print(f"\n  MACs ratio (cheap/standard):    {macs_ratio:.2f}")
+    print(f"  activation-bytes ratio:         {traffic_ratio:.2f}")
+    assert macs_ratio < 0.25          # huge compute saving on paper...
+    assert traffic_ratio > 0.9        # ...but the memory traffic stays

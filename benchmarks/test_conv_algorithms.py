@@ -1,0 +1,44 @@
+"""Ablation: convolution algorithm race across representative layer shapes.
+
+The data behind the Orpheus/TVM crossover in Figure 2: GEMM (im2col) wins
+large tensors, the packed/transformed schedules win small ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_rounds
+from repro.bench.layerwise import STANDARD_CONV_CASES
+from repro.kernels.context import ExecutionContext
+from repro.kernels.registry import REGISTRY
+
+_IMPLS = ("im2col", "direct", "spatial_pack", "winograd", "direct_dw")
+
+_GRID = [
+    (case, impl)
+    for case in STANDARD_CONV_CASES
+    for impl in _IMPLS
+]
+
+
+@pytest.mark.parametrize(
+    "case,impl", _GRID,
+    ids=[f"{case.label.replace(' ', '_')}-{impl}" for case, impl in _GRID])
+def test_conv_algorithm(benchmark, case, impl):
+    node = case.node()
+    shapes = [case.input_shape, case.weight_shape]
+    kernel = REGISTRY.get("Conv", impl)
+    if not kernel.supports(node, shapes):
+        pytest.skip(f"{impl} inapplicable to {case.label}")
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(case.input_shape).astype(np.float32)
+    w = rng.standard_normal(case.weight_shape).astype(np.float32)
+    ctx = ExecutionContext()
+    kernel.fn([x, w], node, ctx)  # warm caches (weight transforms)
+    benchmark.group = f"conv:{case.label}"
+    benchmark.extra_info["impl"] = impl
+    benchmark.pedantic(
+        kernel.fn, args=([x, w], node, ctx),
+        rounds=bench_rounds(), warmup_rounds=1)

@@ -1,0 +1,75 @@
+"""Figure 2: single-thread inference time, five models x frameworks.
+
+Regenerates the paper's evaluation figure cell by cell. Each benchmark is
+one (framework, model) pair; DarkNet runs only the ResNets and TF-Lite is
+absent entirely — exactly the exclusions the paper reports (asserted in
+``test_exclusions_match_paper``).
+
+Expected shape (paper, Section III):
+  * TVM fastest on the small models (WRN-40-2, MobileNetV1);
+  * Orpheus fastest on the big ones (ResNets, Inception-v3);
+  * PyTorch slower than Orpheus everywhere, catastrophically so on
+    MobileNetV1 (depthwise convolution pathology);
+  * DarkNet seconds-scale on the ResNets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_rounds, scaled_image_size
+from repro.bench.workloads import model_input
+from repro.errors import FrameworkUnavailableError
+from repro.frameworks import get_adapter
+from repro.models.zoo import FIGURE2_MODELS
+
+_FRAMEWORKS = ("orpheus", "tvm", "pytorch", "darknet")
+
+_CELLS = [
+    (framework, model)
+    for model in FIGURE2_MODELS
+    for framework in _FRAMEWORKS
+]
+
+
+@pytest.mark.parametrize("framework,model", _CELLS,
+                         ids=[f"{m}-{f}" for f, m in _CELLS])
+def test_figure2_cell(benchmark, framework, model):
+    adapter = get_adapter(framework)
+    image_size = scaled_image_size(model)
+    try:
+        prepared = adapter.prepare(model, image_size=image_size, threads=1)
+    except FrameworkUnavailableError as exc:
+        pytest.skip(f"excluded (paper-reported): {exc}")
+    x = model_input(model, image_size=image_size)
+    benchmark.group = f"figure2:{model}"
+    benchmark.extra_info["framework"] = framework
+    benchmark.pedantic(
+        prepared.run, args=(x,), rounds=bench_rounds(), warmup_rounds=1)
+
+
+def test_exclusions_match_paper():
+    """DarkNet: ResNets only; TF-Lite: no single-thread runs at all."""
+    darknet = get_adapter("darknet")
+    for model in ("wrn-40-2", "mobilenet-v1", "inception-v3"):
+        with pytest.raises(FrameworkUnavailableError):
+            darknet.prepare(model)
+    darknet.prepare("resnet18", image_size=64)
+    with pytest.raises(FrameworkUnavailableError):
+        get_adapter("tflite").prepare("mobilenet-v1", threads=1)
+
+
+def test_outputs_agree_across_frameworks():
+    """Every framework computes the same function (it is a fair race)."""
+    image_size = scaled_image_size("wrn-40-2") or 32
+    x = model_input("wrn-40-2", image_size=image_size)
+    outputs = {}
+    for framework in ("orpheus", "tvm", "pytorch"):
+        prepared = get_adapter(framework).prepare(
+            "wrn-40-2", image_size=image_size)
+        outputs[framework] = prepared.run(x)
+    for framework, out in outputs.items():
+        np.testing.assert_allclose(
+            out, outputs["orpheus"], rtol=1e-3, atol=1e-5,
+            err_msg=f"{framework} diverges from orpheus")

@@ -1,0 +1,50 @@
+"""Ablation: GEMM primitives — vendor BLAS vs blocked vs naive.
+
+The gap that puts DarkNet's ResNet times in seconds: its hand-written GEMM
+(simulated by ``gemm_blocked``) against the BLAS the other frameworks link.
+The naive triple loop is included at a tiny size as the floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_rounds
+from repro.kernels.gemm import GEMM_PRIMITIVES
+
+# (label, m, k, n) — conv-lowered GEMM shapes from the zoo models.
+_SHAPES = (
+    ("wrn-stage1", 32, 288, 1024),
+    ("resnet18-mid", 128, 1152, 784),
+    ("resnet50-1x1", 256, 1024, 196),
+    ("fc-1000", 1000, 2048, 1),
+)
+
+_GRID = [(shape, gemm) for shape in _SHAPES for gemm in ("blas", "blocked")]
+
+
+@pytest.mark.parametrize(
+    "shape,gemm", _GRID,
+    ids=[f"{label}-{gemm}" for (label, *_), gemm in _GRID])
+def test_gemm_primitive(benchmark, shape, gemm):
+    label, m, k, n = shape
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((m, k)).astype(np.float32)
+    b = rng.standard_normal((k, n)).astype(np.float32)
+    fn = GEMM_PRIMITIVES[gemm]
+    benchmark.group = f"gemm:{label} ({m}x{k}x{n})"
+    benchmark.extra_info["gemm"] = gemm
+    result = benchmark.pedantic(fn, args=(a, b),
+                                rounds=bench_rounds(), warmup_rounds=1)
+    np.testing.assert_allclose(result, a @ b, rtol=1e-3, atol=1e-3)
+
+
+def test_gemm_naive_floor(benchmark):
+    """The pure-Python floor, at a size where it terminates promptly."""
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((24, 24)).astype(np.float32)
+    b = rng.standard_normal((24, 24)).astype(np.float32)
+    benchmark.group = "gemm:naive-floor (24x24x24)"
+    benchmark.pedantic(GEMM_PRIMITIVES["naive"], args=(a, b),
+                       rounds=2, warmup_rounds=0)

@@ -1,0 +1,50 @@
+"""Ablation: graph-simplification pipeline on vs off.
+
+Quantifies what the paper's "apply simplifications to the computation
+graph" buys: BN folding, activation fusion and identity elimination against
+the exported graph executed verbatim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_rounds, scaled_image_size
+from repro.bench.workloads import model_input
+from repro.models import zoo
+from repro.runtime.session import InferenceSession
+
+_MODELS = ("wrn-40-2", "mobilenet-v1", "resnet18")
+
+_GRID = [(model, optimize) for model in _MODELS for optimize in (True, False)]
+
+
+@pytest.mark.parametrize(
+    "model,optimize", _GRID,
+    ids=[f"{model}-{'opt' if opt else 'raw'}" for model, opt in _GRID])
+def test_pipeline_ablation(benchmark, model, optimize):
+    image_size = scaled_image_size(model)
+    graph = zoo.build(model, image_size=image_size)
+    session = InferenceSession(graph, optimize=optimize, threads=1)
+    x = model_input(model, image_size=image_size)
+    feed = {"input": x}
+    session.run(feed)  # warm
+    benchmark.group = f"passes:{model}"
+    benchmark.extra_info["optimize"] = optimize
+    benchmark.extra_info["nodes"] = len(session.graph.nodes)
+    benchmark.pedantic(session.run, args=(feed,),
+                       rounds=bench_rounds(), warmup_rounds=1)
+
+
+def test_node_reduction_counts():
+    """The pipeline removes a substantial fraction of nodes per model."""
+    from repro.passes import default_pipeline
+    reductions = {}
+    for model in _MODELS:
+        graph = zoo.build(model, image_size=scaled_image_size(model))
+        optimized = default_pipeline().run(graph)
+        reductions[model] = 1 - len(optimized.nodes) / len(graph.nodes)
+    print()
+    for model, reduction in reductions.items():
+        print(f"  {model}: {reduction:.0%} fewer nodes")
+    assert all(r > 0.15 for r in reductions.values())

@@ -1,0 +1,65 @@
+"""Ablation: int8 post-training quantization vs float32.
+
+Footprint is the edge win (4x smaller conv weights). Latency on this
+substrate is *worse* quantized — the int8 path accumulates through f64 GEMM
+because the host BLAS has no int8 kernels — which is itself the honest
+shape for CPUs without int8 ISA support (documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_rounds
+from repro.bench.workloads import calibration_batches, model_input
+from repro.models import zoo
+from repro.passes import default_pipeline
+from repro.quant import calibrate, quantize_graph
+from repro.runtime.session import InferenceSession
+
+
+@pytest.fixture(scope="module")
+def wrn_pair():
+    graph = default_pipeline().run(zoo.build("wrn-40-2"))
+    batches = [{"input": b} for b in calibration_batches("wrn-40-2", count=3)]
+    qgraph, report = quantize_graph(graph, calibrate(graph, batches))
+    assert report.converted_convs == 40
+    return graph, qgraph
+
+
+@pytest.mark.parametrize("precision", ["f32", "int8"])
+def test_wrn_precision(benchmark, wrn_pair, precision):
+    graph, qgraph = wrn_pair
+    session = InferenceSession(
+        graph if precision == "f32" else qgraph, optimize=False)
+    feed = {"input": model_input("wrn-40-2")}
+    session.run(feed)
+    benchmark.group = "quant:wrn-40-2"
+    benchmark.extra_info["precision"] = precision
+    benchmark.pedantic(session.run, args=(feed,),
+                       rounds=bench_rounds(), warmup_rounds=1)
+
+
+def test_footprint_shrinks_4x(wrn_pair):
+    graph, qgraph = wrn_pair
+    f32_conv = sum(a.nbytes for a in graph.initializers.values()
+                   if a.ndim == 4)
+    int8_conv = sum(a.nbytes for a in qgraph.initializers.values()
+                    if a.dtype == np.int8)
+    print(f"\n  conv weights: {f32_conv / 1e6:.2f} MB f32 -> "
+          f"{int8_conv / 1e6:.2f} MB int8")
+    assert int8_conv * 4 == f32_conv
+
+
+def test_accuracy_preserved(wrn_pair):
+    graph, qgraph = wrn_pair
+    agree = 0
+    total = 8
+    for seed in range(total):
+        x = model_input("wrn-40-2", seed=100 + seed)
+        f32 = InferenceSession(graph, optimize=False).run({"input": x})
+        int8 = InferenceSession(qgraph, optimize=False).run({"input": x})
+        agree += int(f32["output"].argmax() == int8["output"].argmax())
+    print(f"\n  top-1 agreement: {agree}/{total}")
+    assert agree >= total - 1

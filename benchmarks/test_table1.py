@@ -1,0 +1,38 @@
+"""Table I: the qualitative framework comparison.
+
+The table is data, not measurement — the "benchmark" times its rendering
+(trivially fast) so the table appears in the benchmark run's output, and the
+assertions lock every cell to the paper's printed values.
+"""
+
+from __future__ import annotations
+
+from repro.bench.table1 import render_table1, table1_rows
+from repro.frameworks.features import CRITERIA, FRAMEWORKS, SCORES
+
+
+def test_table1_render(benchmark):
+    text = benchmark(render_table1, True)
+    print()
+    print(text)
+    for framework in FRAMEWORKS:
+        assert framework in text
+
+
+def test_table1_matches_paper_exactly():
+    expected = {
+        "TF-Lite": (1, 2, 3, 1, 2),
+        "PyTorch": (1, 3, 2, 2, 2),
+        "DarkNet": (2, 1, 3, 3, 1),
+        "TVM": (2, 3, 3, 1, 2),
+        "Orpheus": (3, 3, 3, 3, 3),
+    }
+    for framework, scores in expected.items():
+        actual = tuple(SCORES[framework][criterion] for criterion in CRITERIA)
+        assert actual == scores, framework
+
+
+def test_row_layout_matches_paper():
+    rows = table1_rows()
+    assert [row[0] for row in rows] == list(CRITERIA)
+    assert len(rows[0]) == 1 + len(FRAMEWORKS)

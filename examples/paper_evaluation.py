@@ -1,0 +1,41 @@
+"""Regenerate the paper's evaluation: Table I and Figure 2.
+
+By default runs a reduced grid (3 repeats); pass ``--full`` for the
+full-resolution five-model grid recorded in EXPERIMENTS.md.
+
+Run with:  python examples/paper_evaluation.py [--full]
+"""
+
+import sys
+
+from repro.bench.figure2 import run_figure2
+from repro.bench.table1 import render_table1
+
+
+def main() -> None:
+    full = "--full" in sys.argv[1:]
+
+    print(render_table1(with_rationale=True))
+    print()
+
+    result = run_figure2(
+        repeats=7 if full else 3,
+        warmup=2 if full else 1,
+        threads=1,
+        verbose=True,
+    )
+    print()
+    print(result.table())
+    print()
+    print(result.chart())
+    print()
+    for model in result.models:
+        winner = result.winner(model)
+        against = result.speedup(model, winner, "orpheus")
+        note = "" if winner == "orpheus" else (
+            f" ({against:.2f}x vs Orpheus)" if against else "")
+        print(f"  {model:13s} fastest: {winner}{note}")
+
+
+if __name__ == "__main__":
+    main()

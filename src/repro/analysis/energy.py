@@ -1,0 +1,59 @@
+"""Analytic energy proxy for edge inference.
+
+The paper's introduction names power consumption as one of the edge
+optimisation targets; no power rail is measurable on this substrate, so the
+framework provides the standard analytic proxy: energy = compute energy +
+data-movement energy, with per-operation coefficients in picojoules taken
+from the published 45 nm estimates of Horowitz (ISSCC 2014), scaled to a
+mobile SoC envelope.
+
+These are *relative* numbers — good for comparing models and optimisation
+choices (e.g. f32 vs int8), not for predicting a specific board's meter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.macs import GraphCost, count_graph
+from repro.ir.graph import Graph
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyModel:
+    """Energy coefficients in picojoules.
+
+    Defaults: a 32-bit float MAC (multiply + add) ~= 4.6 pJ, 8-bit integer
+    MAC ~= 0.23 pJ, DRAM access ~= 640 pJ per 32-bit word, SRAM/cache access
+    ~= 5 pJ per word (Horowitz, ISSCC 2014).
+    """
+
+    pj_per_mac_f32: float = 4.6
+    pj_per_mac_i8: float = 0.23
+    pj_per_dram_byte: float = 160.0   # 640 pJ / 4-byte word
+    pj_per_sram_byte: float = 1.25    # 5 pJ / 4-byte word
+    #: fraction of activation traffic that misses on-chip memory
+    dram_miss_rate: float = 0.1
+
+    def energy_mj(self, cost: GraphCost, quantized: bool = False) -> float:
+        """Estimated energy for one inference, in millijoules."""
+        pj_mac = self.pj_per_mac_i8 if quantized else self.pj_per_mac_f32
+        # Non-MAC elementwise work charged at ~one multiply (1.1 pJ) each.
+        elementwise_pj = sum(c.flops for c in cost.per_node) * 1.1
+        compute = cost.total_macs * pj_mac + elementwise_pj
+        traffic = cost.activation_bytes + cost.weight_bytes
+        scale = 0.25 if quantized else 1.0  # int8 moves a quarter of the bytes
+        movement = traffic * scale * (
+            self.dram_miss_rate * self.pj_per_dram_byte
+            + (1 - self.dram_miss_rate) * self.pj_per_sram_byte)
+        return (compute + movement) / 1e9  # pJ -> mJ
+
+
+def estimate_energy_mj(
+    graph: Graph,
+    model: EnergyModel | None = None,
+    quantized: bool = False,
+) -> float:
+    """Convenience wrapper: count the graph and evaluate the energy model."""
+    return (model or EnergyModel()).energy_mj(
+        count_graph(graph), quantized=quantized)

@@ -1,0 +1,18 @@
+"""Backends: named kernel-selection policies, with a plugin registration API."""
+
+from repro.backends import builtin  # noqa: F401  (registers built-in backends)
+from repro.backends.backend import (
+    Backend,
+    get_backend,
+    list_backends,
+    register_backend,
+    unregister_backend,
+)
+
+__all__ = [
+    "Backend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "unregister_backend",
+]

@@ -1,0 +1,133 @@
+"""Backend abstraction: a named kernel-selection policy.
+
+A backend answers one question per node — *which implementation runs this
+layer?* — optionally routes all matrix multiplies through a specific GEMM
+primitive, and may carry per-layer overrides ("run node conv3 with
+Winograd"). This is the mechanism behind the paper's "layers ... have
+multiple implementations which are selected at runtime" and its
+"easy integration of third party backends": a third-party integration is
+just new kernels plus a Backend naming them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import BackendError
+from repro.ir.node import Node
+from repro.kernels.gemm import GEMM_PRIMITIVES
+from repro.kernels.registry import REGISTRY, KernelImpl, KernelRegistry
+
+
+@dataclasses.dataclass(frozen=True)
+class Backend:
+    """A kernel-selection policy.
+
+    Attributes:
+        name: registry key (e.g. ``"orpheus"``).
+        description: one line for ``orpheus backends`` CLI output.
+        preferences: map op type -> ordered implementation names to try
+            first. Ops absent from the map fall back to priority order.
+        node_overrides: map node name -> implementation name, taking
+            precedence over ``preferences`` (per-layer experimentation).
+        gemm: name of the GEMM primitive kernels must use (see
+            :data:`repro.kernels.gemm.GEMM_PRIMITIVES`).
+        registry: kernel registry to resolve against (the global one unless
+            a third-party integration brings its own).
+        include_experimental: allow implicitly selecting kernels flagged
+            experimental (named preferences always work).
+    """
+
+    name: str
+    description: str = ""
+    preferences: Mapping[str, tuple[str, ...]] = dataclasses.field(default_factory=dict)
+    node_overrides: Mapping[str, str] = dataclasses.field(default_factory=dict)
+    gemm: str = "blas"
+    registry: KernelRegistry = dataclasses.field(default=REGISTRY, repr=False)
+    include_experimental: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gemm not in GEMM_PRIMITIVES:
+            raise BackendError(
+                f"backend {self.name!r}: unknown gemm primitive {self.gemm!r}; "
+                f"expected one of {sorted(GEMM_PRIMITIVES)}"
+            )
+
+    @property
+    def gemm_fn(self) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+        return GEMM_PRIMITIVES[self.gemm]
+
+    def select(
+        self, node: Node, input_shapes: Sequence[tuple[int, ...]]
+    ) -> KernelImpl:
+        """Choose the kernel implementation for ``node``.
+
+        Raises:
+            BackendError: a node override names an inapplicable kernel.
+        """
+        override = self.node_overrides.get(node.name)
+        if override is not None:
+            impl = self.registry.get(node.op_type, override)
+            if not impl.supports(node, input_shapes):
+                raise BackendError(
+                    f"backend {self.name!r}: override {override!r} is not "
+                    f"applicable to node {node.name!r} with shapes "
+                    f"{list(input_shapes)}"
+                )
+            return impl
+        preferred = self.preferences.get(node.op_type, ())
+        if self.include_experimental:
+            candidates = self.registry.candidates(
+                node, input_shapes, include_experimental=True)
+            for name in preferred:
+                for impl in candidates:
+                    if impl.name == name:
+                        return impl
+            if candidates:
+                return candidates[0]
+        return self.registry.select(node, input_shapes, preferences=preferred)
+
+    def with_overrides(self, overrides: Mapping[str, str]) -> "Backend":
+        """A copy with extra per-node implementation overrides."""
+        merged = dict(self.node_overrides)
+        merged.update(overrides)
+        return dataclasses.replace(self, node_overrides=merged)
+
+    def with_preferences(self, **per_op: tuple[str, ...]) -> "Backend":
+        """A copy with op-level preferences merged in."""
+        merged = dict(self.preferences)
+        merged.update(per_op)
+        return dataclasses.replace(self, preferences=merged)
+
+
+_BACKENDS: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend, replace: bool = False) -> Backend:
+    """Register a backend under its name (the third-party plugin hook)."""
+    if backend.name in _BACKENDS and not replace:
+        raise BackendError(f"backend {backend.name!r} already registered")
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; registered: {sorted(_BACKENDS)}"
+        ) from None
+
+
+def list_backends() -> list[Backend]:
+    return [_BACKENDS[name] for name in sorted(_BACKENDS)]
+
+
+def unregister_backend(name: str) -> None:
+    if name not in _BACKENDS:
+        raise BackendError(f"backend {name!r} is not registered")
+    del _BACKENDS[name]

@@ -1,0 +1,60 @@
+"""Built-in backends.
+
+* ``orpheus`` — the paper's default configuration: GEMM (im2col) convolution
+  everywhere, vectorised direct depthwise, BLAS matmul.
+* ``reference`` — slow, obviously-correct kernels; the testing oracle.
+* ``direct`` / ``spatial_pack`` / ``winograd`` / ``fft`` — single-algorithm
+  backends used by the per-layer experiments and ablations.
+"""
+
+from __future__ import annotations
+
+from repro.backends.backend import Backend, register_backend
+
+ORPHEUS = register_backend(Backend(
+    name="orpheus",
+    description="GEMM convolution + direct depthwise (paper default)",
+    preferences={
+        "Conv": ("direct_dw", "im2col"),
+        "MaxPool": ("offsets",),
+        "AveragePool": ("offsets",),
+    },
+    gemm="blas",
+))
+
+REFERENCE = register_backend(Backend(
+    name="reference",
+    description="naive loop kernels; testing oracle (slow)",
+    preferences={
+        "Conv": ("reference",),
+        "MaxPool": ("loops",),
+        "AveragePool": ("loops",),
+        "Gemm": ("default",),
+    },
+    gemm="naive",
+    include_experimental=True,
+))
+
+DIRECT = register_backend(Backend(
+    name="direct",
+    description="kernel-offset direct convolution everywhere it applies",
+    preferences={"Conv": ("direct_dw", "direct", "im2col")},
+))
+
+SPATIAL_PACK = register_backend(Backend(
+    name="spatial_pack",
+    description="TVM-style tiled spatial-pack convolution",
+    preferences={"Conv": ("direct_dw", "spatial_pack", "im2col")},
+))
+
+WINOGRAD = register_backend(Backend(
+    name="winograd",
+    description="Winograd F(2x2,3x3) where applicable, GEMM elsewhere",
+    preferences={"Conv": ("direct_dw", "winograd", "im2col")},
+))
+
+FFT = register_backend(Backend(
+    name="fft",
+    description="frequency-domain convolution where applicable",
+    preferences={"Conv": ("direct_dw", "fft", "im2col")},
+))

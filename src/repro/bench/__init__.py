@@ -1,0 +1,54 @@
+"""Benchmark harness: the paper's experiments and the ablation infrastructure."""
+
+from repro.bench.figure2 import Exclusion, Figure2Result, run_figure2
+from repro.bench.harness import RunStats, time_model, time_session
+from repro.bench.layerwise import (
+    STANDARD_CONV_CASES,
+    ConvCase,
+    LayerRaceResult,
+    race_conv_impls,
+)
+from repro.bench.regression import (
+    RegressionReport,
+    check_baseline,
+    measure_baseline,
+    save_baseline,
+)
+from repro.bench.reporting import format_csv, format_table
+from repro.bench.sweeps import SweepPoint, SweepResult, batch_sweep, resolution_sweep
+from repro.bench.table1 import render_table1, table1_csv, table1_headers, table1_rows
+from repro.bench.workloads import (
+    calibration_batches,
+    model_input,
+    synthetic_image_batch,
+)
+
+__all__ = [
+    "ConvCase",
+    "Exclusion",
+    "Figure2Result",
+    "LayerRaceResult",
+    "RegressionReport",
+    "RunStats",
+    "STANDARD_CONV_CASES",
+    "check_baseline",
+    "measure_baseline",
+    "save_baseline",
+    "SweepPoint",
+    "SweepResult",
+    "batch_sweep",
+    "resolution_sweep",
+    "calibration_batches",
+    "format_csv",
+    "format_table",
+    "model_input",
+    "race_conv_impls",
+    "render_table1",
+    "run_figure2",
+    "synthetic_image_batch",
+    "table1_csv",
+    "table1_headers",
+    "table1_rows",
+    "time_model",
+    "time_session",
+]

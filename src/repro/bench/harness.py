@@ -1,0 +1,81 @@
+"""Generic experiment runner: timed full-network inference with statistics.
+
+This is the "infrastructure to run multiple inference experiments,
+evaluating full networks" from the paper's contribution list, shared by the
+Figure 2 driver, the ablation benchmarks, and the CLI ``bench`` command.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+
+import numpy as np
+
+from repro.backends.backend import Backend
+from repro.bench.workloads import model_input
+from repro.models import zoo
+from repro.runtime.session import InferenceSession
+
+
+@dataclasses.dataclass(frozen=True)
+class RunStats:
+    """Timing statistics for one experiment configuration."""
+
+    label: str
+    times: tuple[float, ...]
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.times)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.times)
+
+    @property
+    def best(self) -> float:
+        return min(self.times)
+
+    @property
+    def stdev(self) -> float:
+        return statistics.stdev(self.times) if len(self.times) > 1 else 0.0
+
+    def summary(self) -> str:
+        return (f"{self.label}: median {self.median * 1e3:.2f} ms, "
+                f"best {self.best * 1e3:.2f} ms, "
+                f"stdev {self.stdev * 1e3:.2f} ms over {len(self.times)} runs")
+
+
+def time_session(
+    session: InferenceSession,
+    feeds: dict[str, np.ndarray],
+    repeats: int = 5,
+    warmup: int = 1,
+    label: str = "run",
+) -> RunStats:
+    """Warm up and time an already-prepared session."""
+    times = session.time(feeds, repeats=repeats, warmup=warmup)
+    return RunStats(label=label, times=tuple(times))
+
+
+def time_model(
+    model_name: str,
+    backend: "str | Backend" = "orpheus",
+    threads: int = 1,
+    optimize: bool = True,
+    repeats: int = 5,
+    warmup: int = 1,
+    batch: int = 1,
+    image_size: int | None = None,
+    seed: int = 0,
+) -> RunStats:
+    """Build, prepare, and time a zoo model end to end."""
+    graph = zoo.build(model_name, batch=batch, image_size=image_size, seed=seed)
+    session = InferenceSession(
+        graph, backend=backend, threads=threads, optimize=optimize)
+    x = model_input(model_name, batch=batch, image_size=image_size, seed=seed)
+    backend_name = backend if isinstance(backend, str) else backend.name
+    return time_session(
+        session, {"input": x}, repeats=repeats, warmup=warmup,
+        label=f"{model_name}/{backend_name}/t{threads}")

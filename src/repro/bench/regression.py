@@ -1,0 +1,141 @@
+"""Performance-regression tracking.
+
+A maintained inference framework needs to notice when a "refactor" slows
+MobileNet down 15%. This module snapshots the current machine's timings for
+a set of configurations into a JSON baseline, and later runs compare
+against it with a noise tolerance:
+
+    orpheus bench baseline --save perf.json
+    ...hack...
+    orpheus bench baseline --check perf.json
+
+Baselines are machine-specific (absolute times), so they belong in a local
+file or CI cache keyed by runner type — not in the repository.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import sys
+
+from repro import __version__
+from repro.bench.harness import time_model
+
+#: (model, backend, image_size) configurations tracked by default — small
+#: enough to run in seconds, covering both conv regimes and the depthwise path.
+DEFAULT_CONFIGS: tuple[tuple[str, str, int | None], ...] = (
+    ("wrn-40-2", "orpheus", None),
+    ("wrn-40-2", "winograd", None),
+    ("mobilenet-v1", "orpheus", 128),
+    ("resnet18", "orpheus", 128),
+)
+
+
+def _config_key(model: str, backend: str, image_size: int | None) -> str:
+    return f"{model}/{backend}/{image_size or 'full'}"
+
+
+def measure_baseline(
+    configs=None, repeats: int = 7, warmup: int = 2,
+) -> dict:
+    """Time every configuration; returns the baseline document."""
+    if configs is None:  # resolved at call time so tests can patch the set
+        configs = DEFAULT_CONFIGS
+    entries = {}
+    for model, backend, image_size in configs:
+        stats = time_model(
+            model, backend=backend, image_size=image_size,
+            repeats=repeats, warmup=warmup)
+        entries[_config_key(model, backend, image_size)] = {
+            "model": model,
+            "backend": backend,
+            "image_size": image_size,
+            "median_ms": round(stats.median * 1e3, 4),
+            "best_ms": round(stats.best * 1e3, 4),
+        }
+    return {
+        "version": __version__,
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "repeats": repeats,
+        "entries": entries,
+    }
+
+
+def save_baseline(path: str, configs=None,
+                  repeats: int = 7, warmup: int = 2) -> dict:
+    document = measure_baseline(configs, repeats=repeats, warmup=warmup)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+    return document
+
+
+@dataclasses.dataclass(frozen=True)
+class RegressionFinding:
+    config: str
+    baseline_ms: float
+    current_ms: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current_ms / self.baseline_ms
+
+    def __str__(self) -> str:
+        return (f"{self.config}: {self.baseline_ms:.2f} ms -> "
+                f"{self.current_ms:.2f} ms ({self.ratio:.2f}x)")
+
+
+@dataclasses.dataclass(frozen=True)
+class RegressionReport:
+    regressions: tuple[RegressionFinding, ...]
+    improvements: tuple[RegressionFinding, ...]
+    checked: int
+    tolerance: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        lines = [f"checked {self.checked} configurations "
+                 f"(tolerance {self.tolerance:.0%})"]
+        for finding in self.regressions:
+            lines.append(f"  REGRESSION {finding}")
+        for finding in self.improvements:
+            lines.append(f"  improved   {finding}")
+        if self.ok and not self.improvements:
+            lines.append("  all within tolerance")
+        return "\n".join(lines)
+
+
+def check_baseline(
+    path: str, tolerance: float = 0.25, repeats: int = 7, warmup: int = 2,
+) -> RegressionReport:
+    """Re-measure the baseline's configurations and compare medians.
+
+    ``tolerance`` is generous by default (25%) because single-machine
+    medians wobble; tighten it on a quiet, pinned CI runner.
+    """
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    regressions = []
+    improvements = []
+    for key, entry in document["entries"].items():
+        stats = time_model(
+            entry["model"], backend=entry["backend"],
+            image_size=entry["image_size"], repeats=repeats, warmup=warmup)
+        current_ms = stats.median * 1e3
+        finding = RegressionFinding(
+            config=key, baseline_ms=entry["median_ms"],
+            current_ms=round(current_ms, 4))
+        if finding.ratio > 1.0 + tolerance:
+            regressions.append(finding)
+        elif finding.ratio < 1.0 - tolerance:
+            improvements.append(finding)
+    return RegressionReport(
+        regressions=tuple(regressions),
+        improvements=tuple(improvements),
+        checked=len(document["entries"]),
+        tolerance=tolerance)

@@ -1,0 +1,122 @@
+"""Parameter sweeps: latency vs batch size and input resolution.
+
+The classic edge-deployment questions the paper's experiment infrastructure
+exists to answer: how does inference time scale when frames are batched,
+and what does lowering the camera resolution buy? Each sweep prepares one
+session per configuration and times it with the shared warmup/median
+protocol.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+import time
+
+from repro.backends.backend import Backend
+from repro.bench.reporting import format_csv, format_table
+from repro.bench.workloads import model_input
+from repro.models import zoo
+from repro.runtime.session import InferenceSession
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One configuration's timing."""
+
+    model: str
+    batch: int
+    image_size: int
+    times: tuple[float, ...]
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.times)
+
+    @property
+    def per_item_ms(self) -> float:
+        """Median latency per batched item, in milliseconds."""
+        return self.median * 1e3 / self.batch
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    model: str
+    parameter: str                      # "batch" | "image_size"
+    points: tuple[SweepPoint, ...]
+
+    def rows(self) -> list[list[object]]:
+        return [
+            [getattr(point, self.parameter), point.median * 1e3,
+             point.per_item_ms]
+            for point in self.points
+        ]
+
+    def table(self) -> str:
+        return format_table(
+            [self.parameter, "median (ms)", "per item (ms)"],
+            self.rows(),
+            title=f"{self.model}: latency vs {self.parameter}")
+
+    def csv(self) -> str:
+        return format_csv(
+            [self.parameter, "median_ms", "per_item_ms"], self.rows())
+
+    def scaling_factor(self) -> float:
+        """Last point's per-item cost over the first's (<1 = amortising)."""
+        return self.points[-1].per_item_ms / self.points[0].per_item_ms
+
+
+def _time_config(
+    model: str, batch: int, image_size: int | None,
+    backend: "str | Backend", threads: int, repeats: int, warmup: int,
+) -> SweepPoint:
+    graph = zoo.build(model, batch=batch, image_size=image_size)
+    session = InferenceSession(graph, backend=backend, threads=threads)
+    x = model_input(model, batch=batch, image_size=image_size)
+    feed = {"input": x}
+    for _ in range(warmup):
+        session.run(feed)
+    times = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        session.run(feed)
+        times.append(time.perf_counter() - started)
+    return SweepPoint(
+        model=model, batch=batch,
+        image_size=image_size or zoo.get_entry(model).image_size,
+        times=tuple(times))
+
+
+def batch_sweep(
+    model: str,
+    batches: tuple[int, ...] = (1, 2, 4, 8),
+    image_size: int | None = None,
+    backend: "str | Backend" = "orpheus",
+    threads: int = 1,
+    repeats: int = 5,
+    warmup: int = 1,
+) -> SweepResult:
+    """Latency vs batch size at fixed resolution."""
+    points = tuple(
+        _time_config(model, batch, image_size, backend, threads,
+                     repeats, warmup)
+        for batch in batches
+    )
+    return SweepResult(model=model, parameter="batch", points=points)
+
+
+def resolution_sweep(
+    model: str,
+    image_sizes: tuple[int, ...],
+    backend: "str | Backend" = "orpheus",
+    threads: int = 1,
+    repeats: int = 5,
+    warmup: int = 1,
+) -> SweepResult:
+    """Latency vs input resolution at batch 1."""
+    points = tuple(
+        _time_config(model, 1, size, backend, threads, repeats, warmup)
+        for size in image_sizes
+    )
+    return SweepResult(model=model, parameter="image_size", points=points)

@@ -1,0 +1,36 @@
+"""Table I: the qualitative framework-comparison table.
+
+Renders the feature scores from :mod:`repro.frameworks.features` in the
+paper's layout (criteria as rows, frameworks as columns, scores 1-3).
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_csv, format_table
+from repro.frameworks.features import CRITERIA, FRAMEWORKS, RATIONALE, SCORES
+
+
+def table1_rows() -> list[list[object]]:
+    return [
+        [criterion, *[SCORES[framework][criterion] for framework in FRAMEWORKS]]
+        for criterion in CRITERIA
+    ]
+
+
+def table1_headers() -> list[str]:
+    return ["criterion", *FRAMEWORKS]
+
+
+def render_table1(with_rationale: bool = False) -> str:
+    """The paper's Table I as aligned text."""
+    body = format_table(
+        table1_headers(), table1_rows(),
+        title="Table I: Comparison of Deep Learning frameworks (scores 1-3)")
+    if not with_rationale:
+        return body
+    notes = [f"  {framework}: {RATIONALE[framework]}" for framework in FRAMEWORKS]
+    return "\n".join([body, "", "Rationale (from Section II):", *notes])
+
+
+def table1_csv() -> str:
+    return format_csv(table1_headers(), table1_rows())

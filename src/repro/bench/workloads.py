@@ -1,0 +1,59 @@
+"""Workload generation for the benchmark harness.
+
+Inference timing is input-value independent, but the harness still feeds
+realistic image-statistics tensors (ImageNet-normalised) so that any future
+value-dependent optimisation (e.g. activation sparsity) is exercised
+honestly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import zoo
+
+# Per-channel ImageNet statistics (RGB).
+_MEAN = np.array([0.485, 0.456, 0.406], dtype=np.float32)
+_STD = np.array([0.229, 0.224, 0.225], dtype=np.float32)
+
+
+def synthetic_image_batch(
+    shape: tuple[int, int, int, int], seed: int = 0
+) -> np.ndarray:
+    """A batch of normalised synthetic "images" (NCHW float32).
+
+    Pixels are drawn uniform in [0, 1) with smooth spatial structure (a
+    low-frequency mixture), then ImageNet-normalised — the tensor statistics
+    a real preprocessing pipeline would produce.
+    """
+    batch, channels, height, width = shape
+    rng = np.random.default_rng(seed)
+    ys = np.linspace(0.0, 4.0 * np.pi, height, dtype=np.float32)
+    xs = np.linspace(0.0, 4.0 * np.pi, width, dtype=np.float32)
+    base = 0.5 + 0.25 * np.sin(ys)[:, None] * np.cos(xs)[None, :]
+    noise = rng.random((batch, channels, height, width), dtype=np.float32)
+    images = np.clip(0.5 * base + 0.5 * noise, 0.0, 1.0)
+    if channels == 3:
+        images = (images - _MEAN.reshape(1, 3, 1, 1)) / _STD.reshape(1, 3, 1, 1)
+    return images.astype(np.float32)
+
+
+def model_input(model_name: str, batch: int = 1,
+                image_size: int | None = None, seed: int = 0) -> np.ndarray:
+    """The canonical benchmark input for a zoo model."""
+    shape = zoo.input_shape(model_name, batch=batch)
+    if image_size is not None:
+        shape = (shape[0], shape[1], image_size, image_size)
+    return synthetic_image_batch(shape, seed=seed)
+
+
+def calibration_batches(
+    model_name: str, count: int = 4, batch: int = 1,
+    image_size: int | None = None, seed: int = 0,
+) -> list[np.ndarray]:
+    """Distinct input batches for quantization calibration."""
+    return [
+        model_input(model_name, batch=batch, image_size=image_size,
+                    seed=seed + index)
+        for index in range(count)
+    ]

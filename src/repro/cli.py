@@ -1,0 +1,377 @@
+"""The ``orpheus`` command-line interface.
+
+Subcommands::
+
+    orpheus models                  # list the model zoo
+    orpheus backends                # list registered backends
+    orpheus inspect MODEL           # print a model's graph (or an .onnx file)
+    orpheus run MODEL               # one inference on synthetic input
+    orpheus profile MODEL           # per-layer timing
+    orpheus convert MODEL OUT.onnx  # export a zoo model to ONNX
+    orpheus bench figure2           # regenerate the paper's Figure 2
+    orpheus bench table1            # regenerate the paper's Table I
+    orpheus bench layers            # per-layer conv algorithm race
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+from repro import __version__
+from repro.backends import get_backend, list_backends
+from repro.models import zoo
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="orpheus",
+        description="Orpheus edge-inference framework (ISPASS 2020 reproduction)")
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list zoo models")
+    sub.add_parser("backends", help="list registered backends")
+
+    inspect = sub.add_parser("inspect", help="print a model graph")
+    inspect.add_argument("model", help="zoo model name or .onnx path")
+    inspect.add_argument("--no-shapes", action="store_true")
+    inspect.add_argument("--optimize", action="store_true",
+                         help="print the simplified graph")
+    inspect.add_argument("--dot", metavar="PATH",
+                         help="also write Graphviz DOT source to PATH")
+
+    run = sub.add_parser("run", help="run one inference on synthetic input")
+    _session_flags(run)
+
+    profile = sub.add_parser("profile", help="per-layer timing")
+    _session_flags(profile)
+    profile.add_argument("--repeats", type=int, default=5)
+    profile.add_argument("--top", type=int, default=15)
+    profile.add_argument("--trace", metavar="PATH",
+                         help="write a chrome://tracing JSON to PATH")
+
+    convert = sub.add_parser("convert", help="export a zoo model to ONNX")
+    convert.add_argument("model")
+    convert.add_argument("output", help="output .onnx path")
+    convert.add_argument("--seed", type=int, default=0)
+
+    quantize = sub.add_parser(
+        "quantize", help="post-training int8 quantization -> ONNX")
+    quantize.add_argument("model", help="zoo model name or .onnx path")
+    quantize.add_argument("output", help="output .onnx path")
+    quantize.add_argument("--batches", type=int, default=4,
+                          help="calibration batches")
+    quantize.add_argument("--observer", choices=("minmax", "percentile"),
+                          default="minmax")
+    quantize.add_argument("--seed", type=int, default=0)
+
+    analyze = sub.add_parser(
+        "analyze", help="static cost report: MACs, memory, energy")
+    analyze.add_argument("model", help="zoo model name or .onnx path")
+    analyze.add_argument("--no-optimize", action="store_true")
+    analyze.add_argument("--seed", type=int, default=0)
+
+    compare = sub.add_parser(
+        "compare", help="per-layer comparison of two backends on one model")
+    compare.add_argument("model", help="zoo model name or .onnx path")
+    compare.add_argument("backends", nargs=2, help="two backend names")
+    compare.add_argument("--threads", type=int, default=1)
+    compare.add_argument("--repeats", type=int, default=5)
+    compare.add_argument("--top", type=int, default=15)
+    compare.add_argument("--seed", type=int, default=0)
+
+    conformance = sub.add_parser(
+        "conformance", help="run the backend conformance battery")
+    conformance.add_argument("backend", nargs="?", default=None,
+                             help="backend name (default: all registered)")
+
+    bench = sub.add_parser("bench", help="paper experiments")
+    bench_sub = bench.add_subparsers(dest="experiment", required=True)
+    figure2 = bench_sub.add_parser("figure2", help="Figure 2 grid")
+    figure2.add_argument("--repeats", type=int, default=5)
+    figure2.add_argument("--threads", type=int, default=1)
+    figure2.add_argument("--models", nargs="*", default=None)
+    figure2.add_argument("--frameworks", nargs="*", default=None)
+    figure2.add_argument("--image-size", type=int, default=None)
+    figure2.add_argument("--csv", help="also write CSV to this path")
+    figure2.add_argument("--chart", action="store_true",
+                         help="render ASCII bars instead of the table")
+    table1 = bench_sub.add_parser("table1", help="Table I")
+    table1.add_argument("--rationale", action="store_true")
+    layers = bench_sub.add_parser("layers", help="conv algorithm race")
+    layers.add_argument("--repeats", type=int, default=5)
+    baseline = bench_sub.add_parser(
+        "baseline", help="save or check a performance baseline")
+    group = baseline.add_mutually_exclusive_group(required=True)
+    group.add_argument("--save", metavar="PATH")
+    group.add_argument("--check", metavar="PATH")
+    baseline.add_argument("--repeats", type=int, default=7)
+    baseline.add_argument("--tolerance", type=float, default=0.25)
+    return parser
+
+
+def _session_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("model", help="zoo model name or .onnx path")
+    parser.add_argument("--backend", default="orpheus")
+    parser.add_argument("--threads", type=int, default=1)
+    parser.add_argument("--no-optimize", action="store_true")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _load_graph(name: str, seed: int = 0):
+    if os.path.exists(name) or name.endswith(".onnx"):
+        from repro.onnx import load_model
+        return load_model(name)
+    return zoo.build(name, seed=seed)
+
+
+def _model_feed(graph) -> dict[str, np.ndarray]:
+    from repro.bench.workloads import synthetic_image_batch
+    feeds = {}
+    for info in graph.inputs:
+        shape = tuple(1 if dim == -1 else dim for dim in info.shape)
+        if len(shape) == 4:
+            feeds[info.name] = synthetic_image_batch(shape)
+        else:
+            feeds[info.name] = np.zeros(shape, dtype=info.dtype.np)
+    return feeds
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    for entry in zoo.list_models():
+        print(f"{entry.name:14s} {entry.image_size}x{entry.image_size}  "
+              f"{entry.num_classes:5d} classes  {entry.description}")
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    for backend in list_backends():
+        print(f"{backend.name:14s} gemm={backend.gemm:8s} {backend.description}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.ir.printer import print_graph, summarize
+    graph = _load_graph(args.model)
+    if args.optimize:
+        from repro.passes import default_pipeline
+        graph = default_pipeline().run(graph)
+    print(print_graph(graph, with_shapes=not args.no_shapes))
+    print()
+    print(summarize(graph))
+    if args.dot:
+        from repro.ir.dot import save_dot
+        save_dot(graph, args.dot, with_shapes=not args.no_shapes)
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.runtime.session import InferenceSession
+    graph = _load_graph(args.model, seed=args.seed)
+    session = InferenceSession(
+        graph, backend=get_backend(args.backend), threads=args.threads,
+        optimize=not args.no_optimize)
+    outputs = session.run(_model_feed(session.graph))
+    for name, array in outputs.items():
+        flat = array.reshape(-1)
+        top = int(flat.argmax())
+        print(f"{name}: shape {array.shape}, argmax {top}, "
+              f"max {flat[top]:.4f}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.runtime.session import InferenceSession
+    graph = _load_graph(args.model, seed=args.seed)
+    session = InferenceSession(
+        graph, backend=get_backend(args.backend), threads=args.threads,
+        optimize=not args.no_optimize)
+    profile = session.profile(_model_feed(session.graph), repeats=args.repeats)
+    print(profile.table(count=args.top))
+    print("\nby op type (ms):")
+    for op, seconds in profile.by_op_type().items():
+        print(f"  {op:24s} {seconds * 1e3:9.2f}")
+    if args.trace:
+        from repro.runtime.trace import save_chrome_trace
+        save_chrome_trace(profile, args.trace, process_name=args.model)
+        print(f"\nwrote {args.trace}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.onnx import save_model
+    graph = zoo.build(args.model, seed=args.seed)
+    save_model(graph, args.output)
+    size = os.path.getsize(args.output)
+    print(f"wrote {args.output} ({size / (1 << 20):.2f} MiB)")
+    return 0
+
+
+def _cmd_quantize(args: argparse.Namespace) -> int:
+    from repro.onnx import save_model
+    from repro.passes import default_pipeline
+    from repro.quant import calibrate, quantize_graph
+
+    graph = _load_graph(args.model, seed=args.seed)
+    # Quantize the unfused simplification so the result stays ONNX-clean
+    # (the fused `activation` attribute is framework-internal).
+    optimized = default_pipeline(fuse=False).run(graph)
+    batches = []
+    for index in range(args.batches):
+        feeds = {}
+        for info in optimized.inputs:
+            shape = tuple(1 if dim == -1 else dim for dim in info.shape)
+            from repro.bench.workloads import synthetic_image_batch
+            feeds[info.name] = (
+                synthetic_image_batch(shape, seed=args.seed + index)
+                if len(shape) == 4
+                else np.zeros(shape, dtype=info.dtype.np))
+        batches.append(feeds)
+    ranges = calibrate(optimized, batches, observer=args.observer)
+    quantized, report = quantize_graph(optimized, ranges)
+    print(report)
+    save_model(quantized, args.output)
+    size = os.path.getsize(args.output)
+    print(f"wrote {args.output} ({size / (1 << 20):.2f} MiB)")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import count_graph, estimate_energy_mj, footprint
+    graph = _load_graph(args.model, seed=args.seed)
+    if not args.no_optimize:
+        from repro.passes import default_pipeline
+        graph = default_pipeline().run(graph)
+    cost = count_graph(graph)
+    print(cost.summary())
+    print(footprint(graph, args.model).summary())
+    print(f"energy proxy: {estimate_energy_mj(graph):.2f} mJ/inference (f32), "
+          f"{estimate_energy_mj(graph, quantized=True):.2f} mJ (int8)")
+    print("\nMACs by op type:")
+    for op, macs in cost.by_op_type().items():
+        if macs:
+            print(f"  {op:24s} {macs / 1e6:10.1f} M")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import format_table
+    from repro.runtime.session import InferenceSession
+
+    graph = _load_graph(args.model, seed=args.seed)
+    first, second = args.backends
+    profiles = {}
+    for name in (first, second):
+        session = InferenceSession(
+            graph, backend=get_backend(name), threads=args.threads)
+        feed = _model_feed(session.graph)
+        profiles[name] = session.profile(feed, repeats=args.repeats)
+    base = {layer.node_name: layer for layer in profiles[first].layers}
+    rows = []
+    for layer in profiles[second].layers:
+        reference = base.get(layer.node_name)
+        if reference is None:
+            continue  # backends may fuse differently; compare common nodes
+        ratio = reference.median / layer.median if layer.median else float("inf")
+        rows.append([
+            layer.node_name, layer.op_type,
+            reference.impl, reference.median * 1e3,
+            layer.impl, layer.median * 1e3, ratio,
+        ])
+    rows.sort(key=lambda row: -max(row[3], row[5]))
+    table = format_table(
+        ["node", "op", f"{first} impl", f"{first} ms",
+         f"{second} impl", f"{second} ms", f"{first}/{second}"],
+        rows[:args.top] if args.top else rows,
+        title=f"{args.model}: {first} vs {second} (median of {args.repeats})")
+    print(table)
+    total_first = profiles[first].total_median * 1e3
+    total_second = profiles[second].total_median * 1e3
+    print(f"\ntotal: {first} {total_first:.2f} ms, "
+          f"{second} {total_second:.2f} ms "
+          f"({total_first / total_second:.2f}x)")
+    return 0
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.backends import list_backends
+    from repro.testing import check_backend
+
+    backends = ([get_backend(args.backend)] if args.backend
+                else list_backends())
+    all_ok = True
+    for backend in backends:
+        report = check_backend(backend)
+        print(report.summary())
+        all_ok = all_ok and report.ok
+    return 0 if all_ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.experiment == "table1":
+        from repro.bench.table1 import render_table1
+        print(render_table1(with_rationale=args.rationale))
+        return 0
+    if args.experiment == "layers":
+        from repro.bench.layerwise import race_conv_impls
+        print(race_conv_impls(repeats=args.repeats).table())
+        return 0
+    if args.experiment == "baseline":
+        from repro.bench.regression import check_baseline, save_baseline
+        if args.save:
+            document = save_baseline(args.save, repeats=args.repeats)
+            for key, entry in document["entries"].items():
+                print(f"  {key:32s} {entry['median_ms']:8.2f} ms")
+            print(f"wrote {args.save}")
+            return 0
+        report = check_baseline(args.check, tolerance=args.tolerance,
+                                repeats=args.repeats)
+        print(report.summary())
+        return 0 if report.ok else 1
+    from repro.bench.figure2 import run_figure2
+    from repro.frameworks.adapters import EVALUATION_ORDER
+    from repro.models.zoo import FIGURE2_MODELS
+    result = run_figure2(
+        models=tuple(args.models or FIGURE2_MODELS),
+        frameworks=tuple(args.frameworks or EVALUATION_ORDER),
+        threads=args.threads,
+        repeats=args.repeats,
+        image_size=args.image_size,
+        verbose=True,
+    )
+    print()
+    print(result.chart() if args.chart else result.table())
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(result.csv() + "\n")
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+_COMMANDS = {
+    "models": _cmd_models,
+    "backends": _cmd_backends,
+    "inspect": _cmd_inspect,
+    "run": _cmd_run,
+    "profile": _cmd_profile,
+    "convert": _cmd_convert,
+    "compare": _cmd_compare,
+    "conformance": _cmd_conformance,
+    "quantize": _cmd_quantize,
+    "analyze": _cmd_analyze,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Global runtime configuration.
+
+The paper evaluates single-thread inference on an Arm Cortex-A73 core; the
+``threads`` knob here is the stand-in for OpenMP's ``OMP_NUM_THREADS``. A
+:class:`RuntimeConfig` is attached to every :class:`~repro.runtime.session.
+InferenceSession`; the module-level :func:`get_default_config` /
+:func:`set_default_config` pair holds the process-wide default.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from collections.abc import Iterator
+
+
+@dataclasses.dataclass(frozen=True)
+class RuntimeConfig:
+    """Immutable runtime knobs.
+
+    Attributes:
+        threads: worker threads used by ``parallel_for`` kernels (1 = the
+            paper's single-core setting).
+        backend: name of the default kernel-selection backend.
+        optimize: run the graph-simplification pass pipeline before execution.
+        memory_planning: reuse buffers via the arena planner.
+        validate_kernels: re-check kernel output shapes/dtypes against shape
+            inference after every node (slow; for debugging).
+    """
+
+    threads: int = 1
+    backend: str = "orpheus"
+    optimize: bool = True
+    memory_planning: bool = True
+    validate_kernels: bool = False
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads}")
+
+    def replace(self, **changes: object) -> "RuntimeConfig":
+        """Return a copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+
+_default = RuntimeConfig()
+
+
+def get_default_config() -> RuntimeConfig:
+    """Return the process-wide default configuration."""
+    return _default
+
+
+def set_default_config(config: RuntimeConfig) -> None:
+    """Replace the process-wide default configuration."""
+    global _default
+    _default = config
+
+
+@contextlib.contextmanager
+def default_config(**changes: object) -> Iterator[RuntimeConfig]:
+    """Temporarily override fields of the default configuration.
+
+    >>> with default_config(threads=4):
+    ...     ...
+    """
+    global _default
+    saved = _default
+    _default = saved.replace(**changes)
+    try:
+        yield _default
+    finally:
+        _default = saved

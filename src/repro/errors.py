@@ -1,0 +1,63 @@
+"""Exception hierarchy for the Orpheus framework.
+
+Every error raised by the framework derives from :class:`OrpheusError`, so
+callers embedding Orpheus in a larger experiment workflow can catch one type.
+"""
+
+from __future__ import annotations
+
+
+class OrpheusError(Exception):
+    """Base class for all framework errors."""
+
+
+class GraphError(OrpheusError):
+    """The graph IR is malformed (dangling values, cycles, duplicates...)."""
+
+
+class ShapeInferenceError(OrpheusError):
+    """Operator inputs have shapes the operator cannot accept."""
+
+
+class AttributeError_(OrpheusError):
+    """A node attribute is missing, has the wrong type, or a bad value."""
+
+
+class UnsupportedOpError(OrpheusError):
+    """The graph contains an operator the runtime does not implement."""
+
+
+class KernelError(OrpheusError):
+    """No kernel implementation is applicable to a node."""
+
+
+class BackendError(OrpheusError):
+    """Backend registration or selection failed."""
+
+
+class OnnxError(OrpheusError):
+    """ONNX bytes could not be parsed, or the model uses unsupported features."""
+
+
+class WireFormatError(OnnxError):
+    """Low-level protobuf wire-format corruption."""
+
+
+class ExecutionError(OrpheusError):
+    """A kernel failed while executing a prepared graph."""
+
+
+class FrameworkUnavailableError(OrpheusError):
+    """A (simulated) third-party framework cannot run the requested workload.
+
+    Mirrors the paper's evaluation notes: DarkNet only ships the ResNet
+    models, and TF-Lite cannot be pinned to a single thread.
+    """
+
+
+class QuantizationError(OrpheusError):
+    """Calibration or quantized execution failed."""
+
+
+class ModelZooError(OrpheusError):
+    """Unknown model name or invalid model-construction parameters."""

@@ -1,0 +1,38 @@
+"""Framework adapters: Orpheus + the four simulated comparators."""
+
+from repro.frameworks import features
+from repro.frameworks.adapters import (
+    DARKNET_ADAPTER,
+    EVALUATION_ORDER,
+    ORPHEUS_ADAPTER,
+    PYTORCH_ADAPTER,
+    TFLITE_ADAPTER,
+    TVM_ADAPTER,
+)
+from repro.frameworks.base import (
+    FrameworkAdapter,
+    Measurement,
+    PreparedModel,
+    get_adapter,
+    list_adapters,
+    register_adapter,
+)
+from repro.frameworks.session_adapter import SessionAdapter, SessionModel
+
+__all__ = [
+    "DARKNET_ADAPTER",
+    "EVALUATION_ORDER",
+    "FrameworkAdapter",
+    "Measurement",
+    "ORPHEUS_ADAPTER",
+    "PYTORCH_ADAPTER",
+    "PreparedModel",
+    "SessionAdapter",
+    "SessionModel",
+    "TFLITE_ADAPTER",
+    "TVM_ADAPTER",
+    "features",
+    "get_adapter",
+    "list_adapters",
+    "register_adapter",
+]

@@ -1,0 +1,66 @@
+"""Shared adapter plumbing for frameworks simulated on this runtime."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.backends.backend import Backend
+from repro.frameworks.base import FrameworkAdapter, PreparedModel
+from repro.models import zoo
+from repro.runtime.session import InferenceSession
+
+
+class SessionModel(PreparedModel):
+    """A `PreparedModel` backed by an `InferenceSession`.
+
+    ``per_run_overhead_s`` models constant framework dispatch cost that our
+    shared executor cannot express (e.g. a Python-API boundary crossing);
+    the built-in simulations keep it at zero — differences come from the
+    kernels — but third-party adapters may use it.
+    """
+
+    def __init__(self, session: InferenceSession,
+                 per_run_overhead_s: float = 0.0) -> None:
+        self.session = session
+        self.per_run_overhead_s = per_run_overhead_s
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        outputs = self.session.run({"input": x})
+        return next(iter(outputs.values()))
+
+    def time(self, x: np.ndarray, repeats: int, warmup: int) -> list[float]:
+        feed = {"input": x}
+        for _ in range(warmup):
+            self.session.run(feed)
+        times = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            self.session.run(feed)
+            elapsed = time.perf_counter() - started
+            times.append(elapsed + self.per_run_overhead_s)
+        return times
+
+
+class SessionAdapter(FrameworkAdapter):
+    """Adapter that runs zoo models through a configured backend."""
+
+    def __init__(
+        self,
+        name: str,
+        display_name: str,
+        backend: Backend,
+        optimize: bool = True,
+    ) -> None:
+        self.name = name
+        self.display_name = display_name
+        self.backend = backend
+        self.optimize = optimize
+
+    def prepare(self, model_name: str, batch: int = 1,
+                image_size: int | None = None, threads: int = 1) -> SessionModel:
+        graph = zoo.build(model_name, batch=batch, image_size=image_size)
+        session = InferenceSession(
+            graph, backend=self.backend, threads=threads, optimize=self.optimize)
+        return SessionModel(session)

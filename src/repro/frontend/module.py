@@ -1,0 +1,237 @@
+"""A small define-then-export module API.
+
+The paper's workflow starts from "models exported from popular training
+frameworks". This module plays that role: users describe a network with
+familiar layer objects (``Conv2d``, ``Linear``, ``Sequential``...) and
+export it to the framework IR or to ONNX bytes — the same artefacts a
+PyTorch/TF exporter would hand Orpheus.
+
+Modules are declarative: they hold hyper-parameters, not weights. Weights
+are materialised (seeded) at export time by the `GraphBuilder`.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+
+
+class Module(abc.ABC):
+    """One network component: emits IR into a builder."""
+
+    @abc.abstractmethod
+    def emit(self, builder: GraphBuilder, x: str) -> str:
+        """Append this module's nodes; return the output value name."""
+
+    def __call__(self, builder: GraphBuilder, x: str) -> str:
+        return self.emit(builder, x)
+
+
+class Conv2d(Module):
+    """2-D convolution (optionally grouped/depthwise)."""
+
+    def __init__(
+        self,
+        out_channels: int,
+        kernel_size: int | Sequence[int],
+        stride: int | Sequence[int] = 1,
+        padding: int | Sequence[int] = 0,
+        dilation: int | Sequence[int] = 1,
+        groups: int = 1,
+        bias: bool = True,
+    ) -> None:
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.dilation = dilation
+        self.groups = groups
+        self.bias = bias
+
+    def emit(self, builder: GraphBuilder, x: str) -> str:
+        return builder.conv(
+            x, self.out_channels, self.kernel_size, stride=self.stride,
+            pad=self.padding, dilation=self.dilation, group=self.groups,
+            bias=self.bias)
+
+
+class DepthwiseConv2d(Module):
+    """Depthwise convolution: groups == channels, inferred at emit time."""
+
+    def __init__(self, kernel_size: int = 3, stride: int = 1,
+                 padding: int = 1, bias: bool = True) -> None:
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.bias = bias
+
+    def emit(self, builder: GraphBuilder, x: str) -> str:
+        return builder.depthwise_conv(
+            x, self.kernel_size, stride=self.stride, pad=self.padding,
+            bias=self.bias)
+
+
+class BatchNorm2d(Module):
+    def __init__(self, epsilon: float = 1e-5) -> None:
+        self.epsilon = epsilon
+
+    def emit(self, builder: GraphBuilder, x: str) -> str:
+        return builder.batch_norm(x, epsilon=self.epsilon)
+
+
+class ReLU(Module):
+    def emit(self, builder: GraphBuilder, x: str) -> str:
+        return builder.relu(x)
+
+
+class ReLU6(Module):
+    def emit(self, builder: GraphBuilder, x: str) -> str:
+        return builder.relu6(x)
+
+
+class Sigmoid(Module):
+    def emit(self, builder: GraphBuilder, x: str) -> str:
+        return builder.sigmoid(x)
+
+
+class Softmax(Module):
+    def __init__(self, axis: int = -1) -> None:
+        self.axis = axis
+
+    def emit(self, builder: GraphBuilder, x: str) -> str:
+        return builder.softmax(x, axis=self.axis)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None,
+                 padding: int = 0) -> None:
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def emit(self, builder: GraphBuilder, x: str) -> str:
+        return builder.max_pool(
+            x, self.kernel_size, stride=self.stride, pad=self.padding)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None,
+                 padding: int = 0) -> None:
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def emit(self, builder: GraphBuilder, x: str) -> str:
+        return builder.average_pool(
+            x, self.kernel_size, stride=self.stride, pad=self.padding)
+
+
+class GlobalAvgPool2d(Module):
+    def emit(self, builder: GraphBuilder, x: str) -> str:
+        return builder.global_average_pool(x)
+
+
+class Flatten(Module):
+    def __init__(self, axis: int = 1) -> None:
+        self.axis = axis
+
+    def emit(self, builder: GraphBuilder, x: str) -> str:
+        return builder.flatten(x, axis=self.axis)
+
+
+class Linear(Module):
+    def __init__(self, out_features: int, bias: bool = True) -> None:
+        self.out_features = out_features
+        self.bias = bias
+
+    def emit(self, builder: GraphBuilder, x: str) -> str:
+        return builder.dense(x, self.out_features, bias=self.bias)
+
+
+class Dropout(Module):
+    def __init__(self, ratio: float = 0.5) -> None:
+        self.ratio = ratio
+
+    def emit(self, builder: GraphBuilder, x: str) -> str:
+        return builder.dropout(x, ratio=self.ratio)
+
+
+class Sequential(Module):
+    """Modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        self.modules = list(modules)
+
+    def emit(self, builder: GraphBuilder, x: str) -> str:
+        for module in self.modules:
+            x = module.emit(builder, x)
+        return x
+
+    def append(self, module: Module) -> "Sequential":
+        self.modules.append(module)
+        return self
+
+
+class Residual(Module):
+    """``x + body(x)`` with an automatic 1x1 projection on shape mismatch."""
+
+    def __init__(self, body: Module) -> None:
+        self.body = body
+
+    def emit(self, builder: GraphBuilder, x: str) -> str:
+        y = self.body.emit(builder, x)
+        if builder.shape_of(x) != builder.shape_of(y):
+            out_channels = builder.shape_of(y)[1]
+            stride = max(1, builder.shape_of(x)[2] // builder.shape_of(y)[2])
+            x = builder.conv(x, out_channels, 1, stride=stride, bias=False)
+        return builder.add(x, y)
+
+
+class Parallel(Module):
+    """Inception-style branches merged by channel concatenation."""
+
+    def __init__(self, *branches: Module) -> None:
+        if not branches:
+            raise ValueError("Parallel needs at least one branch")
+        self.branches = list(branches)
+
+    def emit(self, builder: GraphBuilder, x: str) -> str:
+        outputs = [branch.emit(builder, x) for branch in self.branches]
+        if len(outputs) == 1:
+            return outputs[0]
+        return builder.concat(outputs, axis=1)
+
+
+def export(
+    module: Module,
+    input_shape: Sequence[int],
+    name: str = "exported",
+    seed: int = 0,
+    input_name: str = "input",
+    output_name: str = "output",
+) -> Graph:
+    """Materialise a module as a validated framework graph."""
+    builder = GraphBuilder(name, seed=seed)
+    x = builder.input(input_name, tuple(input_shape))
+    y = module.emit(builder, x)
+    builder.output(y)
+    graph = builder.finish()
+    if y != output_name:
+        graph.rename_value(y, output_name)
+        graph.validate()
+    return graph
+
+
+def export_onnx(
+    module: Module,
+    input_shape: Sequence[int],
+    name: str = "exported",
+    seed: int = 0,
+) -> bytes:
+    """Materialise a module directly as ONNX model bytes."""
+    from repro.onnx.writer import save_model_bytes
+
+    return save_model_bytes(export(module, input_shape, name=name, seed=seed))

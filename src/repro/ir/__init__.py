@@ -1,0 +1,31 @@
+"""Graph intermediate representation: nodes, graphs, shapes, construction."""
+
+from repro.ir.attributes import Attributes
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph, ValueInfo
+from repro.ir.node import Node
+from repro.ir.printer import print_graph, summarize
+from repro.ir.shape_inference import (
+    InferenceContext,
+    broadcast_shapes,
+    infer_shapes,
+    register_shape_fn,
+    resolve_conv_pads,
+    supported_ops,
+)
+
+__all__ = [
+    "Attributes",
+    "Graph",
+    "GraphBuilder",
+    "InferenceContext",
+    "Node",
+    "ValueInfo",
+    "broadcast_shapes",
+    "infer_shapes",
+    "print_graph",
+    "register_shape_fn",
+    "resolve_conv_pads",
+    "summarize",
+    "supported_ops",
+]

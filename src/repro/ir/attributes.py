@@ -1,0 +1,177 @@
+"""Typed attribute container for IR nodes.
+
+ONNX attributes are loosely typed (int, float, string, int-list, ...);
+``Attributes`` normalises them on insertion and gives kernels typed getters
+that raise a framework error — rather than a ``KeyError`` deep inside a
+kernel — when a required attribute is missing or malformed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import AttributeError_
+
+AttrValue = int | float | str | tuple[int, ...] | tuple[float, ...] | np.ndarray
+
+
+def _normalize(name: str, value: object) -> AttrValue:
+    """Coerce a raw attribute value into one of the supported attr types."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float, str, np.ndarray)):
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        items = list(value)
+        if all(isinstance(item, (int, np.integer)) for item in items):
+            return tuple(int(item) for item in items)
+        if all(isinstance(item, (int, float, np.integer, np.floating)) for item in items):
+            return tuple(float(item) for item in items)
+        raise AttributeError_(f"attribute {name!r}: mixed-type sequence {value!r}")
+    raise AttributeError_(f"attribute {name!r}: unsupported type {type(value).__name__}")
+
+
+class Attributes:
+    """An immutable-ish mapping of attribute name to typed value."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Mapping[str, object] | None = None) -> None:
+        self._values: dict[str, AttrValue] = {}
+        if values:
+            for name, value in values.items():
+                self._values[name] = _normalize(name, value)
+
+    # -- mapping protocol ----------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def keys(self) -> Sequence[str]:
+        return tuple(self._values)
+
+    def as_dict(self) -> dict[str, AttrValue]:
+        return dict(self._values)
+
+    # -- typed getters --------------------------------------------------------
+
+    def get_int(self, name: str, default: int | None = None) -> int:
+        return self._get(name, int, default)
+
+    def get_float(self, name: str, default: float | None = None) -> float:
+        value = self._values.get(name)
+        if value is None:
+            return self._require_default(name, default, "float")
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise AttributeError_(f"attribute {name!r}: expected float, got {value!r}")
+
+    def get_str(self, name: str, default: str | None = None) -> str:
+        return self._get(name, str, default)
+
+    def get_ints(self, name: str, default: Sequence[int] | None = None) -> tuple[int, ...]:
+        value = self._values.get(name)
+        if value is None:
+            if default is None:
+                raise AttributeError_(f"missing required attribute {name!r} (ints)")
+            return tuple(int(item) for item in default)
+        if isinstance(value, tuple) and all(isinstance(item, int) for item in value):
+            return value  # type: ignore[return-value]
+        if isinstance(value, int):  # scalar promoted to 1-tuple
+            return (value,)
+        raise AttributeError_(f"attribute {name!r}: expected ints, got {value!r}")
+
+    def get_floats(
+        self, name: str, default: Sequence[float] | None = None
+    ) -> tuple[float, ...]:
+        value = self._values.get(name)
+        if value is None:
+            if default is None:
+                raise AttributeError_(f"missing required attribute {name!r} (floats)")
+            return tuple(float(item) for item in default)
+        if isinstance(value, tuple):
+            return tuple(float(item) for item in value)
+        if isinstance(value, (int, float)):
+            return (float(value),)
+        raise AttributeError_(f"attribute {name!r}: expected floats, got {value!r}")
+
+    def get_tensor(self, name: str, default: np.ndarray | None = None) -> np.ndarray:
+        value = self._values.get(name)
+        if value is None:
+            if default is None:
+                raise AttributeError_(f"missing required attribute {name!r} (tensor)")
+            return default
+        if isinstance(value, np.ndarray):
+            return value
+        raise AttributeError_(f"attribute {name!r}: expected tensor, got {value!r}")
+
+    # -- mutation (used by graph passes) --------------------------------------
+
+    def set(self, name: str, value: object) -> None:
+        self._values[name] = _normalize(name, value)
+
+    def remove(self, name: str) -> None:
+        self._values.pop(name, None)
+
+    def updated(self, **changes: object) -> "Attributes":
+        """Return a copy with the given attributes set."""
+        merged = dict(self._values)
+        for name, value in changes.items():
+            merged[name] = _normalize(name, value)
+        out = Attributes()
+        out._values = merged
+        return out
+
+    # -- internals -------------------------------------------------------------
+
+    def _get(self, name: str, kind: type, default: object) -> object:
+        value = self._values.get(name)
+        if value is None:
+            return self._require_default(name, default, kind.__name__)
+        if isinstance(value, kind):
+            return value
+        raise AttributeError_(
+            f"attribute {name!r}: expected {kind.__name__}, got {type(value).__name__}"
+        )
+
+    @staticmethod
+    def _require_default(name: str, default: object, kind: str) -> object:
+        if default is None:
+            raise AttributeError_(f"missing required attribute {name!r} ({kind})")
+        return default
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{key}={value!r}" for key, value in sorted(self._values.items()))
+        return f"Attributes({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Attributes):
+            return NotImplemented
+        if self._values.keys() != other._values.keys():
+            return False
+        for key, mine in self._values.items():
+            theirs = other._values[key]
+            if isinstance(mine, np.ndarray) or isinstance(theirs, np.ndarray):
+                if not (
+                    isinstance(mine, np.ndarray)
+                    and isinstance(theirs, np.ndarray)
+                    and np.array_equal(mine, theirs)
+                ):
+                    return False
+            elif mine != theirs:
+                return False
+        return True
+
+    __hash__ = None  # type: ignore[assignment]

@@ -1,0 +1,112 @@
+"""Graphviz DOT export of IR graphs.
+
+``to_dot`` renders a graph as DOT source (viewable with ``dot -Tsvg`` or
+any online Graphviz viewer) — the quickest way to eyeball what the
+simplification passes did to an imported model. No graphviz dependency:
+DOT is plain text.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import Graph
+from repro.ir.printer import format_shape
+from repro.ir.shape_inference import infer_shapes
+
+# One colour family per op family; everything else is grey.
+_OP_COLORS = {
+    "Conv": "#4e79a7",
+    "QLinearConv": "#2f5a82",
+    "Gemm": "#59a14f",
+    "MatMul": "#59a14f",
+    "BatchNormalization": "#f28e2b",
+    "Relu": "#e15759",
+    "Clip": "#e15759",
+    "Sigmoid": "#e15759",
+    "Softmax": "#e15759",
+    "MaxPool": "#b07aa1",
+    "AveragePool": "#b07aa1",
+    "GlobalAveragePool": "#b07aa1",
+    "Add": "#edc948",
+    "Concat": "#76b7b2",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(graph: Graph, with_shapes: bool = True,
+           rankdir: str = "TB") -> str:
+    """Render ``graph`` as Graphviz DOT source."""
+    shapes: dict[str, str] = {}
+    if with_shapes:
+        try:
+            values = infer_shapes(graph)
+            shapes = {name: format_shape(shape)
+                      for name, (shape, _dtype) in values.items()}
+        except Exception:
+            shapes = {}
+
+    lines = [
+        f'digraph "{_escape(graph.name)}" {{',
+        f"  rankdir={rankdir};",
+        '  node [shape=box, style="rounded,filled", fontname="monospace",'
+        ' fontsize=10, fillcolor="#eeeeee"];',
+        '  edge [fontname="monospace", fontsize=8, color="#888888"];',
+    ]
+    # Graph inputs as ovals.
+    for info in graph.inputs:
+        label = f"{info.name}\\n{format_shape(info.shape)}"
+        lines.append(
+            f'  "val:{_escape(info.name)}" [label="{label}", shape=oval,'
+            ' fillcolor="#ffffff"];')
+    producers = graph.producers()
+    for index, node in enumerate(graph.toposort()):
+        color = _OP_COLORS.get(node.op_type, "#bbbbbb")
+        extra = ""
+        if node.op_type == "Conv":
+            kernel = node.attrs.get_ints("kernel_shape", ())
+            strides = node.attrs.get_ints("strides", (1, 1))
+            group = node.attrs.get_int("group", 1)
+            extra = f"\\n{'x'.join(map(str, kernel))}"
+            if strides != (1, 1):
+                extra += f" /{strides[0]}"
+            if group > 1:
+                extra += f" g{group}"
+            if "activation" in node.attrs:
+                extra += f" +{node.attrs.get_str('activation')}"
+        # extra is generated text containing intentional DOT "\n" escapes;
+        # only the op type (potentially user-controlled) needs escaping.
+        label = f"{_escape(node.op_type)}{extra}"
+        lines.append(
+            f'  "node:{index}" [label="{label}", '
+            f'fillcolor="{color}", fontcolor="white"];')
+    node_ids = {id(node): f"node:{index}"
+                for index, node in enumerate(graph.toposort())}
+    for node in graph.nodes:
+        target = node_ids[id(node)]
+        for inp in node.present_inputs:
+            if inp in graph.initializers:
+                continue  # weights stay implicit; they would swamp the plot
+            producer = producers.get(inp)
+            source = (node_ids[id(producer)] if producer is not None
+                      else f"val:{inp}")
+            annotation = shapes.get(inp, "")
+            label = f' [label="{annotation}"]' if annotation else ""
+            lines.append(f'  "{source}" -> "{target}"{label};')
+    for info in graph.outputs:
+        lines.append(
+            f'  "out:{_escape(info.name)}" [label="{_escape(info.name)}",'
+            ' shape=oval, fillcolor="#ffffff"];')
+        producer = producers.get(info.name)
+        if producer is not None:
+            lines.append(
+                f'  "{node_ids[id(producer)]}" -> "out:{_escape(info.name)}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def save_dot(graph: Graph, path: str, with_shapes: bool = True) -> None:
+    """Write DOT source to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_dot(graph, with_shapes=with_shapes) + "\n")

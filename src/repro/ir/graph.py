@@ -1,0 +1,237 @@
+"""The computation graph IR.
+
+A :class:`Graph` is a flat list of :class:`~repro.ir.node.Node`s plus typed
+graph inputs/outputs and constant initializers (the weights). Execution
+order is derived — nodes may be stored in any order; :meth:`Graph.toposort`
+produces a valid schedule or raises :class:`~repro.errors.GraphError` on
+cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.ir.node import Node
+from repro.tensor.dtype import DType
+
+
+@dataclasses.dataclass(frozen=True)
+class ValueInfo:
+    """Static type information for a graph input or output.
+
+    ``shape`` entries may be ``-1`` for symbolic (unknown) dimensions; the
+    batch dimension of imported models is commonly symbolic.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: DType = DType.FLOAT32
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("ValueInfo needs a non-empty name")
+        object.__setattr__(self, "shape", tuple(int(dim) for dim in self.shape))
+
+    def with_shape(self, shape: Sequence[int]) -> "ValueInfo":
+        return ValueInfo(self.name, tuple(shape), self.dtype)
+
+
+class Graph:
+    """A dataflow graph over named values.
+
+    Invariants enforced by :meth:`validate`:
+      * every value is produced exactly once (single static assignment);
+      * every node input is a graph input, an initializer, or some node's
+        output;
+      * every graph output is produced;
+      * the node dependency relation is acyclic.
+    """
+
+    def __init__(
+        self,
+        name: str = "graph",
+        inputs: Sequence[ValueInfo] = (),
+        outputs: Sequence[ValueInfo] = (),
+        nodes: Sequence[Node] = (),
+        initializers: Mapping[str, np.ndarray] | None = None,
+    ) -> None:
+        self.name = name
+        self.inputs: list[ValueInfo] = list(inputs)
+        self.outputs: list[ValueInfo] = list(outputs)
+        self.nodes: list[Node] = list(nodes)
+        self.initializers: dict[str, np.ndarray] = dict(initializers or {})
+
+    # -- lookups ---------------------------------------------------------------
+
+    @property
+    def input_names(self) -> list[str]:
+        return [info.name for info in self.inputs]
+
+    @property
+    def output_names(self) -> list[str]:
+        return [info.name for info in self.outputs]
+
+    def producers(self) -> dict[str, Node]:
+        """Map from value name to the node that produces it."""
+        table: dict[str, Node] = {}
+        for node in self.nodes:
+            for out in node.outputs:
+                if out in table:
+                    raise GraphError(
+                        f"value {out!r} produced by both {table[out].name!r} "
+                        f"and {node.name!r}"
+                    )
+                table[out] = node
+        return table
+
+    def consumers(self) -> dict[str, list[Node]]:
+        """Map from value name to the nodes that consume it."""
+        table: dict[str, list[Node]] = {}
+        for node in self.nodes:
+            for inp in node.present_inputs:
+                table.setdefault(inp, []).append(node)
+        return table
+
+    def find_node(self, name: str) -> Node:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise GraphError(f"no node named {name!r} in graph {self.name!r}")
+
+    def nodes_by_type(self, op_type: str) -> list[Node]:
+        return [node for node in self.nodes if node.op_type == op_type]
+
+    # -- validation & scheduling -------------------------------------------------
+
+    def available_values(self) -> set[str]:
+        """Names bound before any node runs: graph inputs + initializers."""
+        return set(self.input_names) | set(self.initializers)
+
+    def validate(self) -> None:
+        """Check all graph invariants; raise :class:`GraphError` on violation."""
+        produced = self.available_values()
+        overlap = set(self.input_names) & set(self.initializers)
+        if overlap:
+            raise GraphError(f"names are both inputs and initializers: {sorted(overlap)}")
+        for node in self.nodes:
+            for out in node.outputs:
+                if out in produced:
+                    raise GraphError(f"value {out!r} is defined more than once")
+                produced.add(out)
+        for node in self.nodes:
+            for inp in node.present_inputs:
+                if inp not in produced:
+                    raise GraphError(
+                        f"node {node.name!r} reads undefined value {inp!r}"
+                    )
+        for info in self.outputs:
+            if info.name not in produced:
+                raise GraphError(f"graph output {info.name!r} is never produced")
+        self.toposort()  # raises on cycles
+
+    def toposort(self) -> list[Node]:
+        """Return nodes in a dependency-respecting order (Kahn's algorithm)."""
+        producers = self.producers()
+        indegree: dict[int, int] = {}
+        dependents: dict[int, list[Node]] = {}
+        for node in self.nodes:
+            count = 0
+            for inp in node.present_inputs:
+                producer = producers.get(inp)
+                if producer is not None and producer is not node:
+                    count += 1
+                    dependents.setdefault(id(producer), []).append(node)
+            indegree[id(node)] = count
+        ready = [node for node in self.nodes if indegree[id(node)] == 0]
+        order: list[Node] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for dep in dependents.get(id(node), ()):
+                indegree[id(dep)] -= 1
+                if indegree[id(dep)] == 0:
+                    ready.append(dep)
+        if len(order) != len(self.nodes):
+            raise GraphError(f"graph {self.name!r} contains a cycle")
+        return order
+
+    # -- mutation (used by builder and passes) ------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        self.nodes.append(node)
+        return node
+
+    def remove_nodes(self, dead: Iterable[Node]) -> None:
+        doomed = {id(node) for node in dead}
+        self.nodes = [node for node in self.nodes if id(node) not in doomed]
+
+    def add_initializer(self, name: str, value: np.ndarray) -> None:
+        if name in self.initializers:
+            raise GraphError(f"initializer {name!r} already exists")
+        self.initializers[name] = value
+
+    def prune_initializers(self) -> int:
+        """Drop initializers no node or graph output references; return count."""
+        used: set[str] = set(self.output_names)
+        for node in self.nodes:
+            used.update(node.present_inputs)
+        dead = [name for name in self.initializers if name not in used]
+        for name in dead:
+            del self.initializers[name]
+        return len(dead)
+
+    def rename_value(self, old: str, new: str) -> None:
+        """Rename a value everywhere it appears (producer, consumers, IO)."""
+        if old == new:
+            return
+        taken = self.available_values() | {
+            out for node in self.nodes for out in node.outputs}
+        if new in taken:
+            raise GraphError(f"cannot rename {old!r}: {new!r} already exists")
+        for node in self.nodes:
+            node.inputs = [new if name == old else name for name in node.inputs]
+            node.outputs = [new if name == old else name for name in node.outputs]
+        self.inputs = [
+            ValueInfo(new, info.shape, info.dtype) if info.name == old else info
+            for info in self.inputs
+        ]
+        self.outputs = [
+            ValueInfo(new, info.shape, info.dtype) if info.name == old else info
+            for info in self.outputs
+        ]
+        if old in self.initializers:
+            self.initializers[new] = self.initializers.pop(old)
+
+    def copy(self) -> "Graph":
+        """Deep-ish copy: nodes and containers are fresh, weight arrays shared."""
+        return Graph(
+            name=self.name,
+            inputs=list(self.inputs),
+            outputs=list(self.outputs),
+            nodes=[node.copy() for node in self.nodes],
+            initializers=dict(self.initializers),
+        )
+
+    # -- statistics ---------------------------------------------------------------
+
+    def num_parameters(self) -> int:
+        """Total scalar count across all initializers."""
+        return sum(int(array.size) for array in self.initializers.values())
+
+    def op_histogram(self) -> dict[str, int]:
+        """Count of nodes per op type, sorted descending."""
+        counts: dict[str, int] = {}
+        for node in self.nodes:
+            counts[node.op_type] = counts.get(node.op_type, 0) + 1
+        return dict(sorted(counts.items(), key=lambda item: (-item[1], item[0])))
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph({self.name!r}, nodes={len(self.nodes)}, "
+            f"inputs={self.input_names}, outputs={self.output_names}, "
+            f"params={self.num_parameters()})"
+        )

@@ -1,0 +1,63 @@
+"""IR node: one operator application inside a graph."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.ir.attributes import Attributes
+
+
+class Node:
+    """A single operator invocation.
+
+    Inputs and outputs are *value names* — strings resolved against the
+    enclosing graph's inputs, initializers, and other nodes' outputs. An
+    empty-string input means "optional input not provided" (ONNX convention).
+    """
+
+    __slots__ = ("op_type", "name", "inputs", "outputs", "attrs")
+
+    def __init__(
+        self,
+        op_type: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        attrs: Mapping[str, object] | Attributes | None = None,
+        name: str = "",
+    ) -> None:
+        if not op_type:
+            raise ValueError("op_type must be non-empty")
+        if not outputs:
+            raise ValueError(f"node {name or op_type!r} must have at least one output")
+        self.op_type = op_type
+        self.name = name or f"{op_type}_{outputs[0]}"
+        self.inputs = list(inputs)
+        self.outputs = list(outputs)
+        if isinstance(attrs, Attributes):
+            self.attrs = attrs
+        else:
+            self.attrs = Attributes(attrs)
+
+    @property
+    def present_inputs(self) -> list[str]:
+        """Input names with the optional-input placeholders ('') removed."""
+        return [name for name in self.inputs if name]
+
+    def replace_input(self, old: str, new: str) -> None:
+        """Rewrite every occurrence of input value ``old`` to ``new``."""
+        self.inputs = [new if name == old else name for name in self.inputs]
+
+    def copy(self) -> "Node":
+        return Node(
+            self.op_type,
+            list(self.inputs),
+            list(self.outputs),
+            Attributes(self.attrs.as_dict()),
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Node({self.op_type!r}, name={self.name!r}, "
+            f"inputs={self.inputs}, outputs={self.outputs})"
+        )

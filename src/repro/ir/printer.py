@@ -1,0 +1,62 @@
+"""Human-readable text rendering of IR graphs.
+
+Used by the CLI ``inspect`` command and by test failure messages.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import Graph
+from repro.ir.shape_inference import infer_shapes
+
+
+def format_shape(shape: tuple[int, ...]) -> str:
+    return "x".join("?" if dim == -1 else str(dim) for dim in shape) or "scalar"
+
+
+def print_graph(graph: Graph, with_shapes: bool = True) -> str:
+    """Render ``graph`` as an indented text listing."""
+    lines = [f"graph {graph.name}"]
+    shapes: dict[str, str] = {}
+    if with_shapes:
+        try:
+            values = infer_shapes(graph)
+            shapes = {name: format_shape(shape) for name, (shape, _dt) in values.items()}
+        except Exception:  # malformed graphs still print, just without shapes
+            shapes = {}
+
+    def annotate(value: str) -> str:
+        if value in shapes:
+            return f"{value}:{shapes[value]}"
+        return value or "_"
+
+    for info in graph.inputs:
+        lines.append(f"  input  {info.name}: {format_shape(info.shape)} {info.dtype.value}")
+    lines.append(f"  initializers: {len(graph.initializers)} "
+                 f"({graph.num_parameters():,} parameters)")
+    for node in graph.toposort():
+        attrs = node.attrs.as_dict()
+        attr_text = ""
+        if attrs:
+            parts = []
+            for key in sorted(attrs):
+                value = attrs[key]
+                rendered = f"<tensor {getattr(value, 'shape', '?')}>" if hasattr(
+                    value, "shape") else repr(value)
+                parts.append(f"{key}={rendered}")
+            attr_text = " {" + ", ".join(parts) + "}"
+        ins = ", ".join(annotate(inp) for inp in node.inputs)
+        outs = ", ".join(annotate(out) for out in node.outputs)
+        lines.append(f"  {outs} = {node.op_type}({ins}){attr_text}")
+    for info in graph.outputs:
+        lines.append(f"  output {info.name}")
+    return "\n".join(lines)
+
+
+def summarize(graph: Graph) -> str:
+    """One-paragraph summary: op histogram and parameter count."""
+    histogram = ", ".join(
+        f"{op}x{count}" for op, count in graph.op_histogram().items())
+    return (
+        f"{graph.name}: {len(graph.nodes)} nodes "
+        f"({histogram}); {graph.num_parameters():,} parameters"
+    )

@@ -1,0 +1,48 @@
+"""Execution context passed to every kernel invocation."""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from repro.parallel import parallel_for
+
+
+@dataclasses.dataclass
+class ExecutionContext:
+    """Per-executor kernel environment.
+
+    Attributes:
+        threads: worker-thread budget for ``parallel_for`` (1 = paper setting).
+        gemm: the matrix-multiply primitive kernels should use. Backends
+            swap this to route *all* GEMM work through an alternative
+            implementation (e.g. the blocked pure-numpy GEMM used by the
+            DarkNet simulation).
+        cache: node-keyed store for compile-time-constant artefacts —
+            pre-transformed weights, packed layouts — that kernels compute
+            on first execution and reuse across runs. The executor keeps one
+            context for its lifetime, so this is the moral equivalent of an
+            AOT weight-layout pass.
+    """
+
+    threads: int = 1
+    gemm: Callable | None = None
+    cache: dict = dataclasses.field(default_factory=dict)
+
+    def cached(self, key, compute: Callable):
+        """Return ``cache[key]``, computing and storing it on first use."""
+        try:
+            return self.cache[key]
+        except KeyError:
+            value = compute()
+            self.cache[key] = value
+            return value
+
+    def parallel_for(self, total: int, body: Callable[[int, int], None]) -> None:
+        parallel_for(total, body, threads=self.threads)
+
+    def matmul(self, a, b):
+        """Multiply via the configured GEMM primitive (BLAS by default)."""
+        if self.gemm is not None:
+            return self.gemm(a, b)
+        return a @ b

@@ -1,0 +1,56 @@
+"""FFT convolution.
+
+Computes the spatial correlation through the convolution theorem: pointwise
+products of 2-D Fourier transforms, contracting input channels in the
+frequency domain. Asymptotically superior for very large kernels; for the
+3x3/1x1 kernels that dominate modern CNNs it mostly serves as a correctness
+cross-check and as a demonstration of how cheaply a new algorithm drops into
+the kernel registry.
+
+Applicable to ungrouped convolutions with dilation 1 (any stride — the full
+stride-1 result is computed and subsampled).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.ir.node import Node
+from repro.kernels.common import finalize_conv, conv_params, pad_input
+from repro.kernels.context import ExecutionContext
+from repro.kernels.registry import kernel
+
+
+def _fft_applicable(node: Node, shapes: Sequence[tuple[int, ...]]) -> bool:
+    if node.attrs.get_int("group", 1) != 1:
+        return False
+    return tuple(node.attrs.get_ints("dilations", (1, 1))) == (1, 1)
+
+
+@kernel("Conv", "fft", priority=20, applicable=_fft_applicable)
+def conv_fft(
+    inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext
+) -> list[np.ndarray]:
+    """Frequency-domain convolution (group == 1, dilation 1)."""
+    x, weight = inputs[0], inputs[1]
+    bias = inputs[2] if len(inputs) > 2 else None
+    params = conv_params(node, x.shape, weight.shape)
+    padded = pad_input(x, params.pads)
+    kh, kw = params.kernel
+    in_h, in_w = padded.shape[2], padded.shape[3]
+    # DNN "convolution" is correlation; convolving with the flipped filter
+    # turns the FFT circular convolution into the correlation we need.
+    flipped = weight[:, :, ::-1, ::-1]
+    fft_h = in_h + kh - 1  # linear, not circular: pad to full support
+    fft_w = in_w + kw - 1
+    x_f = np.fft.rfft2(padded, s=(fft_h, fft_w))      # (N, C, Fh, Fw)
+    w_f = np.fft.rfft2(flipped, s=(fft_h, fft_w))     # (O, C, Fh, Fw)
+    out_f = np.einsum("ncij,ocij->noij", x_f, w_f, optimize=True)
+    full = np.fft.irfft2(out_f, s=(fft_h, fft_w))     # (N, O, Fh, Fw)
+    valid = full[:, :, kh - 1:in_h, kw - 1:in_w]      # "valid" correlation
+    sh, sw = params.strides
+    strided = valid[:, :, ::sh, ::sw][:, :, :params.out_h, :params.out_w]
+    result = np.ascontiguousarray(strided).astype(x.dtype, copy=False)
+    return [finalize_conv(result, bias, node)]

@@ -1,0 +1,105 @@
+"""Depthwise convolution kernels.
+
+Depthwise convolutions (group == channels) dominate MobileNet-class models,
+and their implementation quality decides those models' inference time — the
+paper's evaluation shows PyTorch "performs poorly for MobileNetV1 because of
+an inefficient implementation of the depthwise convolution". Three
+implementations are provided:
+
+* ``direct_dw`` — fully vectorised per-offset accumulation (Orpheus/TVM
+  quality). One fused multiply-add over all channels per kernel offset.
+* ``perchannel_gemm_dw`` — a Python loop over channels, each running its own
+  1-channel im2col + GEMM. Deliberately mirrors the grouped-convolution
+  fallback path that made PyTorch slow; registered ``experimental`` so only
+  the PyTorch framework simulation selects it.
+* the generic grouped path in :mod:`repro.kernels.conv_im2col` also covers
+  depthwise (as ``group`` loops) and acts as the correctness baseline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.ir.node import Node
+from repro.kernels.common import conv_params, finalize_conv, im2col, pad_input
+from repro.kernels.context import ExecutionContext
+from repro.kernels.registry import kernel
+
+
+def _is_depthwise(node: Node, shapes: Sequence[tuple[int, ...]]) -> bool:
+    group = node.attrs.get_int("group", 1)
+    if group == 1 or len(shapes) < 2 or len(shapes[0]) != 4:
+        return False
+    in_channels = shapes[0][1]
+    out_channels = shapes[1][0]
+    return group == in_channels and out_channels == in_channels
+
+
+@kernel("Conv", "direct_dw", priority=90, applicable=_is_depthwise)
+def conv_direct_depthwise(
+    inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext
+) -> list[np.ndarray]:
+    """Vectorised depthwise convolution: per-offset multiply-accumulate."""
+    x, weight = inputs[0], inputs[1]
+    bias = inputs[2] if len(inputs) > 2 else None
+    params = conv_params(node, x.shape, weight.shape)
+    padded = pad_input(x, params.pads)
+    kh, kw = params.kernel
+    sh, sw = params.strides
+    dh, dw = params.dilations
+    out_h, out_w = params.out_h, params.out_w
+    shape = (params.batch, params.out_channels, out_h, out_w)
+    acc = np.empty(shape, dtype=x.dtype)
+    # One scratch per node, reused across runs: the inner loop then runs
+    # allocation-free (multiply into scratch, accumulate into acc).
+    scratch = ctx.cached(
+        ("dw_scratch", node.name, shape, x.dtype),
+        lambda: np.empty(shape, dtype=x.dtype))
+    w = weight.reshape(params.out_channels, kh, kw)  # (C, KH, KW)
+    first = True
+    for ky in range(kh):
+        for kx in range(kw):
+            y0, x0 = ky * dh, kx * dw
+            patch = padded[:, :, y0:y0 + sh * out_h:sh, x0:x0 + sw * out_w:sw]
+            w_off = w[np.newaxis, :, ky, kx, np.newaxis, np.newaxis]
+            if first:
+                np.multiply(patch, w_off, out=acc)
+                first = False
+            else:
+                np.multiply(patch, w_off, out=scratch)
+                acc += scratch
+    return [finalize_conv(acc, bias, node)]
+
+
+@kernel("Conv", "perchannel_gemm_dw", priority=-10, applicable=_is_depthwise,
+        experimental=True)
+def conv_perchannel_gemm_depthwise(
+    inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext
+) -> list[np.ndarray]:
+    """Per-channel im2col+GEMM loop — the inefficient framework fallback.
+
+    Each channel pays a full im2col/GEMM dispatch for a 1-channel problem;
+    with hundreds of channels the per-call overhead dominates, reproducing
+    the PyTorch MobileNetV1 pathology from the paper's Figure 2.
+    """
+    x, weight = inputs[0], inputs[1]
+    bias = inputs[2] if len(inputs) > 2 else None
+    params = conv_params(node, x.shape, weight.shape)
+    padded = pad_input(x, params.pads)
+    single = conv_params(
+        node, (params.batch, 1, params.in_h, params.in_w),
+        (1, 1, params.kernel[0], params.kernel[1]))
+    out = np.empty(
+        (params.batch, params.out_channels, params.out_h, params.out_w),
+        dtype=x.dtype,
+    )
+    for channel in range(params.out_channels):
+        x_slice = np.ascontiguousarray(padded[:, channel:channel + 1])
+        columns = im2col(x_slice, single)  # (N, KH*KW, OH*OW)
+        w_row = weight[channel].reshape(1, -1)  # (1, KH*KW)
+        product = np.matmul(w_row, columns)  # (N, 1, OH*OW)
+        out[:, channel] = product.reshape(
+            params.batch, params.out_h, params.out_w)
+    return [finalize_conv(out, bias, node)]

@@ -1,0 +1,30 @@
+"""Elementwise binary kernels with numpy broadcasting semantics."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.ir.node import Node
+from repro.kernels.context import ExecutionContext
+from repro.kernels.registry import kernel
+
+
+def _binary(op: Callable[[np.ndarray, np.ndarray], np.ndarray]):
+    def fn(
+        inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext
+    ) -> list[np.ndarray]:
+        a, b = inputs[0], inputs[1]
+        return [op(a, b).astype(np.result_type(a.dtype, b.dtype), copy=False)]
+
+    return fn
+
+
+kernel("Add", "default", priority=100)(_binary(np.add))
+kernel("Sub", "default", priority=100)(_binary(np.subtract))
+kernel("Mul", "default", priority=100)(_binary(np.multiply))
+kernel("Div", "default", priority=100)(_binary(np.divide))
+kernel("Pow", "default", priority=100)(_binary(np.power))
+kernel("Max", "default", priority=100)(_binary(np.maximum))
+kernel("Min", "default", priority=100)(_binary(np.minimum))

@@ -1,0 +1,98 @@
+"""Indexing and resampling kernels: Slice, Gather, Split, Resize."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.ir.node import Node
+from repro.kernels.context import ExecutionContext
+from repro.kernels.registry import kernel
+
+
+def _int_list(inputs: Sequence[np.ndarray], index: int) -> list[int] | None:
+    if len(inputs) <= index or inputs[index] is None or inputs[index].size == 0:
+        return None
+    return [int(v) for v in np.asarray(inputs[index]).reshape(-1)]
+
+
+@kernel("Slice", "default", priority=100)
+def slice_op(
+    inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext
+) -> list[np.ndarray]:
+    """ONNX Slice: starts/ends/axes/steps as inputs (opset 10+) or attrs."""
+    x = inputs[0]
+    starts = _int_list(inputs, 1) or list(node.attrs.get_ints("starts"))
+    ends = _int_list(inputs, 2) or list(node.attrs.get_ints("ends"))
+    axes = _int_list(inputs, 3)
+    if axes is None:
+        axes = list(node.attrs.get_ints("axes", tuple(range(len(starts)))))
+    steps = _int_list(inputs, 4)
+    if steps is None:
+        steps = list(node.attrs.get_ints("steps", (1,) * len(starts)))
+    slicer: list[slice] = [slice(None)] * x.ndim
+    for start, end, axis, step in zip(starts, ends, axes, steps):
+        slicer[axis % x.ndim] = slice(start, end, step)
+    return [np.ascontiguousarray(x[tuple(slicer)])]
+
+
+@kernel("Gather", "default", priority=100)
+def gather(
+    inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext
+) -> list[np.ndarray]:
+    x, indices = inputs[0], inputs[1]
+    axis = node.attrs.get_int("axis", 0)
+    return [np.take(x, indices.astype(np.int64), axis=axis)]
+
+
+@kernel("Split", "default", priority=100)
+def split(
+    inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext
+) -> list[np.ndarray]:
+    x = inputs[0]
+    axis = node.attrs.get_int("axis", 0)
+    pieces = _int_list(inputs, 1)
+    if pieces is None and "split" in node.attrs:
+        pieces = list(node.attrs.get_ints("split"))
+    count = len(node.outputs)
+    if pieces is None:
+        pieces = [x.shape[axis] // count] * count
+    boundaries = np.cumsum(pieces)[:-1]
+    return [np.ascontiguousarray(part)
+            for part in np.split(x, boundaries, axis=axis)]
+
+
+@kernel("Resize", "default", priority=100)
+def resize_nearest(
+    inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext
+) -> list[np.ndarray]:
+    """Nearest-neighbour Resize (the mode edge detectors/upsamplers use).
+
+    Supports the ``sizes`` input (4th) or ``scales`` (3rd input / attr),
+    with asymmetric coordinate transformation — numpy index arithmetic.
+    """
+    x = inputs[0]
+    mode = node.attrs.get_str("mode", "nearest")
+    if mode != "nearest":
+        raise NotImplementedError(f"Resize mode {mode!r}; only 'nearest'")
+    sizes = _int_list(inputs, 3)
+    if sizes is not None:
+        target = sizes
+    else:
+        if len(inputs) > 2 and inputs[2] is not None and inputs[2].size:
+            scales = [float(s) for s in np.asarray(inputs[2]).reshape(-1)]
+        else:
+            scales = [float(s) for s in node.attrs.get_floats("scales")]
+        target = [int(np.floor(dim * scale))
+                  for dim, scale in zip(x.shape, scales)]
+    out = x
+    for axis, new_size in enumerate(target):
+        old_size = out.shape[axis]
+        if new_size == old_size:
+            continue
+        positions = np.minimum(
+            (np.arange(new_size) * (old_size / new_size)).astype(np.int64),
+            old_size - 1)
+        out = np.take(out, positions, axis=axis)
+    return [np.ascontiguousarray(out)]

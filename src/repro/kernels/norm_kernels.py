@@ -1,0 +1,51 @@
+"""Normalisation kernels: BatchNormalization (inference mode) and LRN."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.ir.node import Node
+from repro.kernels.context import ExecutionContext
+from repro.kernels.registry import kernel
+
+
+@kernel("BatchNormalization", "default", priority=100)
+def batch_norm(
+    inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext
+) -> list[np.ndarray]:
+    """Inference-mode batch norm: ``scale * (x - mean) / sqrt(var + eps) + bias``.
+
+    The per-channel affine is precomputed into a single multiply-add, the
+    same strength reduction the fold-batchnorm graph pass performs
+    statically when a Conv precedes it.
+    """
+    x, scale, bias, mean, var = inputs[:5]
+    epsilon = node.attrs.get_float("epsilon", 1e-5)
+    inv_std = 1.0 / np.sqrt(var.astype(np.float64) + epsilon)
+    multiplier = (scale * inv_std).astype(x.dtype)
+    offset = (bias - mean * scale * inv_std).astype(x.dtype)
+    channel_shape = (1, -1) + (1,) * (x.ndim - 2)
+    out = x * multiplier.reshape(channel_shape) + offset.reshape(channel_shape)
+    return [out]
+
+
+@kernel("LRN", "default", priority=100)
+def lrn(inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext) -> list[np.ndarray]:
+    """Local response normalisation across channels (AlexNet-era)."""
+    x = inputs[0]
+    size = node.attrs.get_int("size")
+    alpha = node.attrs.get_float("alpha", 1e-4)
+    beta = node.attrs.get_float("beta", 0.75)
+    k = node.attrs.get_float("bias", 1.0)
+    channels = x.shape[1]
+    squared = (x.astype(np.float64)) ** 2
+    sums = np.zeros_like(squared)
+    half = size // 2
+    for c in range(channels):
+        lo = max(0, c - half)
+        hi = min(channels, c + (size - half))
+        sums[:, c] = squared[:, lo:hi].sum(axis=1)
+    denom = (k + (alpha / size) * sums) ** beta
+    return [(x / denom).astype(x.dtype, copy=False)]

@@ -1,0 +1,229 @@
+"""Pooling kernels: MaxPool, AveragePool, GlobalAveragePool.
+
+Each spatial pooling op ships a vectorised sliding-window implementation and
+a loop reference (the testing oracle). ONNX semantics are honoured in full:
+``ceil_mode``, asymmetric pads, and AveragePool's ``count_include_pad``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.ir.node import Node
+from repro.ir.shape_inference import resolve_conv_pads
+from repro.kernels.context import ExecutionContext
+from repro.kernels.registry import kernel
+
+
+def _pool_geometry(node: Node, x: np.ndarray):
+    """Resolve kernel/strides/pads/dilations and output dims (incl. ceil_mode)."""
+    kernel_shape = node.attrs.get_ints("kernel_shape")
+    strides = node.attrs.get_ints("strides", kernel_shape)
+    dilations = node.attrs.get_ints("dilations", (1, 1))
+    in_h, in_w = x.shape[2], x.shape[3]
+    pads = resolve_conv_pads(node, (in_h, in_w), kernel_shape, strides, dilations)
+    ceil_mode = node.attrs.get_int("ceil_mode", 0)
+
+    def out_dim(size: int, k: int, s: int, pad: int, d: int) -> int:
+        effective = d * (k - 1) + 1
+        raw = (size + pad - effective) / s + 1
+        return int(math.ceil(raw)) if ceil_mode else int(math.floor(raw))
+
+    out_h = out_dim(in_h, kernel_shape[0], strides[0], pads[0] + pads[2], dilations[0])
+    out_w = out_dim(in_w, kernel_shape[1], strides[1], pads[1] + pads[3], dilations[1])
+    # ceil_mode may demand more input extent than pads provide; the extra
+    # rows/cols are padding (never counted by count_include_pad=0).
+    need_h = (out_h - 1) * strides[0] + dilations[0] * (kernel_shape[0] - 1) + 1
+    need_w = (out_w - 1) * strides[1] + dilations[1] * (kernel_shape[1] - 1) + 1
+    extra_h = max(0, need_h - (in_h + pads[0] + pads[2]))
+    extra_w = max(0, need_w - (in_w + pads[1] + pads[3]))
+    full_pads = (pads[0], pads[1], pads[2] + extra_h, pads[3] + extra_w)
+    return kernel_shape, strides, dilations, full_pads, out_h, out_w
+
+
+def _padded(x: np.ndarray, pads, value: float) -> np.ndarray:
+    top, left, bottom, right = pads
+    if not any(pads):
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (top, bottom), (left, right)),
+                  mode="constant", constant_values=value)
+
+
+def _windows(x: np.ndarray, kernel, strides, dilations, out_h, out_w) -> np.ndarray:
+    kh, kw = kernel
+    dh, dw = dilations
+    view = np.lib.stride_tricks.sliding_window_view(
+        x, (dh * (kh - 1) + 1, dw * (kw - 1) + 1), axis=(2, 3))
+    return view[:, :, ::strides[0], ::strides[1], ::dh, ::dw][:, :, :out_h, :out_w]
+
+
+@kernel("MaxPool", "windows", priority=90)
+def maxpool_windows(
+    inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext
+) -> list[np.ndarray]:
+    """Sliding-window MaxPool; padding contributes -inf (never selected)."""
+    x = inputs[0]
+    kernel_shape, strides, dilations, pads, out_h, out_w = _pool_geometry(node, x)
+    lowest = -np.inf if np.issubdtype(x.dtype, np.floating) else np.iinfo(x.dtype).min
+    padded = _padded(x, pads, lowest)
+    view = _windows(padded, kernel_shape, strides, dilations, out_h, out_w)
+    return [np.ascontiguousarray(view.max(axis=(4, 5)))]
+
+
+@kernel("MaxPool", "offsets", priority=100)
+def maxpool_offsets(
+    inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext
+) -> list[np.ndarray]:
+    """Offset-accumulation MaxPool: one vectorised max per kernel tap.
+
+    KH*KW strided maxima instead of a reduction over a 6-D strided view —
+    an order of magnitude faster on the large early-layer pools.
+    """
+    x = inputs[0]
+    kernel_shape, strides, dilations, pads, out_h, out_w = _pool_geometry(node, x)
+    lowest = -np.inf if np.issubdtype(x.dtype, np.floating) else np.iinfo(x.dtype).min
+    padded = _padded(x, pads, lowest)
+    kh, kw = kernel_shape
+    sh, sw = strides
+    dh, dw = dilations
+    out = np.full((x.shape[0], x.shape[1], out_h, out_w), lowest, dtype=x.dtype)
+    for ky in range(kh):
+        for kx in range(kw):
+            y0, x0 = ky * dh, kx * dw
+            patch = padded[:, :, y0:y0 + sh * out_h:sh, x0:x0 + sw * out_w:sw]
+            np.maximum(out, patch, out=out)
+    return [out]
+
+
+@kernel("MaxPool", "loops", priority=-50, experimental=True)
+def maxpool_loops(
+    inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext
+) -> list[np.ndarray]:
+    """Loop-nest MaxPool reference."""
+    x = inputs[0]
+    kernel_shape, strides, dilations, pads, out_h, out_w = _pool_geometry(node, x)
+    lowest = -np.inf if np.issubdtype(x.dtype, np.floating) else np.iinfo(x.dtype).min
+    padded = _padded(x, pads, lowest)
+    batch, channels = x.shape[0], x.shape[1]
+    out = np.empty((batch, channels, out_h, out_w), dtype=x.dtype)
+    kh, kw = kernel_shape
+    for n in range(batch):
+        for c in range(channels):
+            for oy in range(out_h):
+                for ox in range(out_w):
+                    best = lowest
+                    for ky in range(kh):
+                        for kx in range(kw):
+                            value = padded[
+                                n, c,
+                                oy * strides[0] + ky * dilations[0],
+                                ox * strides[1] + kx * dilations[1]]
+                            if value > best:
+                                best = value
+                    out[n, c, oy, ox] = best
+    return [out]
+
+
+@kernel("AveragePool", "windows", priority=90)
+def avgpool_windows(
+    inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext
+) -> list[np.ndarray]:
+    """Sliding-window AveragePool honouring ``count_include_pad``."""
+    x = inputs[0]
+    kernel_shape, strides, dilations, pads, out_h, out_w = _pool_geometry(node, x)
+    include_pad = node.attrs.get_int("count_include_pad", 0)
+    padded = _padded(x, pads, 0.0)
+    view = _windows(padded, kernel_shape, strides, dilations, out_h, out_w)
+    sums = view.sum(axis=(4, 5))
+    if include_pad:
+        counts = float(kernel_shape[0] * kernel_shape[1])
+        return [np.ascontiguousarray(sums / counts).astype(x.dtype, copy=False)]
+    ones = _padded(np.ones_like(x, dtype=np.float32), pads, 0.0)
+    counts = _windows(ones, kernel_shape, strides, dilations, out_h, out_w).sum(axis=(4, 5))
+    counts = np.maximum(counts, 1.0)  # fully-padded windows divide by 1
+    return [np.ascontiguousarray(sums / counts).astype(x.dtype, copy=False)]
+
+
+@kernel("AveragePool", "offsets", priority=100)
+def avgpool_offsets(
+    inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext
+) -> list[np.ndarray]:
+    """Offset-accumulation AveragePool: one vectorised add per kernel tap."""
+    x = inputs[0]
+    kernel_shape, strides, dilations, pads, out_h, out_w = _pool_geometry(node, x)
+    include_pad = node.attrs.get_int("count_include_pad", 0)
+    padded = _padded(x, pads, 0.0)
+    kh, kw = kernel_shape
+    sh, sw = strides
+    dh, dw = dilations
+
+    def accumulate(source: np.ndarray) -> np.ndarray:
+        total = np.zeros(
+            (source.shape[0], source.shape[1], out_h, out_w), dtype=np.float32)
+        for ky in range(kh):
+            for kx in range(kw):
+                y0, x0 = ky * dh, kx * dw
+                total += source[:, :, y0:y0 + sh * out_h:sh,
+                                x0:x0 + sw * out_w:sw]
+        return total
+
+    sums = accumulate(padded)
+    if include_pad:
+        counts = float(kh * kw)
+        return [(sums / counts).astype(x.dtype, copy=False)]
+
+    def reciprocal_counts() -> np.ndarray:
+        # Valid-element counts depend only on geometry: compute once per
+        # node and cache the reciprocal so the steady state is one multiply.
+        ones = _padded(np.ones(x.shape[1:], dtype=np.float32)[np.newaxis],
+                       pads, 0.0)
+        counts = np.maximum(accumulate(ones), 1.0)
+        return (1.0 / counts).astype(np.float32)
+
+    inverse = ctx.cached(
+        ("avgpool_counts", node.name, x.shape, pads), reciprocal_counts)
+    return [(sums * inverse).astype(x.dtype, copy=False)]
+
+
+@kernel("AveragePool", "loops", priority=-50, experimental=True)
+def avgpool_loops(
+    inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext
+) -> list[np.ndarray]:
+    """Loop-nest AveragePool reference."""
+    x = inputs[0]
+    kernel_shape, strides, dilations, pads, out_h, out_w = _pool_geometry(node, x)
+    include_pad = node.attrs.get_int("count_include_pad", 0)
+    padded = _padded(x, pads, 0.0)
+    in_h = x.shape[2] + pads[0]  # first padded row index past real data
+    in_w = x.shape[3] + pads[1]
+    batch, channels = x.shape[0], x.shape[1]
+    out = np.empty((batch, channels, out_h, out_w), dtype=x.dtype)
+    kh, kw = kernel_shape
+    for n in range(batch):
+        for c in range(channels):
+            for oy in range(out_h):
+                for ox in range(out_w):
+                    acc = 0.0
+                    count = 0
+                    for ky in range(kh):
+                        for kx in range(kw):
+                            iy = oy * strides[0] + ky * dilations[0]
+                            ix = ox * strides[1] + kx * dilations[1]
+                            acc += float(padded[n, c, iy, ix])
+                            inside = (pads[0] <= iy < in_h) and (pads[1] <= ix < in_w)
+                            count += 1 if inside else 0
+                    divisor = kh * kw if include_pad else max(count, 1)
+                    out[n, c, oy, ox] = acc / divisor
+    return [out]
+
+
+@kernel("GlobalAveragePool", "default", priority=100)
+def global_average_pool(
+    inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext
+) -> list[np.ndarray]:
+    """Mean over all spatial positions, keeping (N, C, 1, 1)."""
+    x = inputs[0]
+    return [x.mean(axis=(2, 3), keepdims=True).astype(x.dtype, copy=False)]

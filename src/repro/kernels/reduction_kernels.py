@@ -1,0 +1,188 @@
+"""Reductions, argmax, LayerNorm/GroupNorm, Gelu, GlobalMaxPool.
+
+The post-2020 operator additions a maintained edge runtime grows: attention
+-era normalisations (LayerNormalization opset 17, GroupNormalization opset
+18, Gelu opset 20) and the reduction family beyond ReduceMean.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.ir.node import Node
+from repro.ir.shape_inference import (
+    InferenceContext,
+    ValueType,
+    register_shape_fn,
+)
+from repro.kernels.context import ExecutionContext
+from repro.kernels.registry import kernel
+from repro.tensor.dtype import DType
+
+# ---------------------------------------------------------------------------
+# shape inference
+# ---------------------------------------------------------------------------
+
+
+def _reduce_shape(node: Node, inputs: list[ValueType],
+                  ctx: InferenceContext) -> list[ValueType]:
+    (shape, dtype) = inputs[0]
+    rank = len(shape)
+    axes = node.attrs.get_ints("axes", tuple(range(rank)))
+    axes = tuple(sorted(axis % rank for axis in axes))
+    keepdims = node.attrs.get_int("keepdims", 1)
+    if keepdims:
+        out = tuple(1 if axis in axes else dim
+                    for axis, dim in enumerate(shape))
+    else:
+        out = tuple(dim for axis, dim in enumerate(shape)
+                    if axis not in axes)
+    return [(out, dtype)]
+
+
+for _op in ("ReduceSum", "ReduceMax", "ReduceMin"):
+    register_shape_fn(_op)(_reduce_shape)
+
+
+@register_shape_fn("ArgMax")
+def _argmax_shape(node: Node, inputs: list[ValueType],
+                  ctx: InferenceContext) -> list[ValueType]:
+    (shape, _dtype) = inputs[0]
+    rank = len(shape)
+    axis = node.attrs.get_int("axis", 0) % max(rank, 1)
+    keepdims = node.attrs.get_int("keepdims", 1)
+    if keepdims:
+        out = tuple(1 if index == axis else dim
+                    for index, dim in enumerate(shape))
+    else:
+        out = tuple(dim for index, dim in enumerate(shape) if index != axis)
+    return [(out, DType.INT64)]
+
+
+@register_shape_fn("GlobalMaxPool")
+def _gmp_shape(node: Node, inputs: list[ValueType],
+               ctx: InferenceContext) -> list[ValueType]:
+    (shape, dtype) = inputs[0]
+    return [((shape[0], shape[1], 1, 1), dtype)]
+
+
+@register_shape_fn("LayerNormalization")
+def _layernorm_shape(node: Node, inputs: list[ValueType],
+                     ctx: InferenceContext) -> list[ValueType]:
+    return [inputs[0]]
+
+
+@register_shape_fn("GroupNormalization")
+def _groupnorm_shape(node: Node, inputs: list[ValueType],
+                     ctx: InferenceContext) -> list[ValueType]:
+    return [inputs[0]]
+
+
+register_shape_fn("Gelu")(lambda node, inputs, ctx: [inputs[0]])
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+
+def _axes_of(node: Node, x: np.ndarray) -> tuple[int, ...]:
+    axes = node.attrs.get_ints("axes", tuple(range(x.ndim)))
+    return tuple(axis % x.ndim for axis in axes)
+
+
+@kernel("ReduceSum", "default", priority=100)
+def reduce_sum(inputs: Sequence[np.ndarray], node: Node,
+               ctx: ExecutionContext) -> list[np.ndarray]:
+    x = inputs[0]
+    keepdims = bool(node.attrs.get_int("keepdims", 1))
+    return [x.sum(axis=_axes_of(node, x), keepdims=keepdims).astype(
+        x.dtype, copy=False)]
+
+
+@kernel("ReduceMax", "default", priority=100)
+def reduce_max(inputs: Sequence[np.ndarray], node: Node,
+               ctx: ExecutionContext) -> list[np.ndarray]:
+    x = inputs[0]
+    keepdims = bool(node.attrs.get_int("keepdims", 1))
+    return [x.max(axis=_axes_of(node, x), keepdims=keepdims)]
+
+
+@kernel("ReduceMin", "default", priority=100)
+def reduce_min(inputs: Sequence[np.ndarray], node: Node,
+               ctx: ExecutionContext) -> list[np.ndarray]:
+    x = inputs[0]
+    keepdims = bool(node.attrs.get_int("keepdims", 1))
+    return [x.min(axis=_axes_of(node, x), keepdims=keepdims)]
+
+
+@kernel("ArgMax", "default", priority=100)
+def argmax(inputs: Sequence[np.ndarray], node: Node,
+           ctx: ExecutionContext) -> list[np.ndarray]:
+    x = inputs[0]
+    axis = node.attrs.get_int("axis", 0)
+    keepdims = node.attrs.get_int("keepdims", 1)
+    out = np.argmax(x, axis=axis).astype(np.int64)
+    if keepdims:
+        out = np.expand_dims(out, axis)
+    return [out]
+
+
+@kernel("GlobalMaxPool", "default", priority=100)
+def global_max_pool(inputs: Sequence[np.ndarray], node: Node,
+                    ctx: ExecutionContext) -> list[np.ndarray]:
+    x = inputs[0]
+    return [x.max(axis=(2, 3), keepdims=True)]
+
+
+@kernel("LayerNormalization", "default", priority=100)
+def layer_norm(inputs: Sequence[np.ndarray], node: Node,
+               ctx: ExecutionContext) -> list[np.ndarray]:
+    """LayerNorm over the trailing axes from ``axis`` (default -1)."""
+    x, scale = inputs[0], inputs[1]
+    bias = inputs[2] if len(inputs) > 2 and inputs[2].size else None
+    axis = node.attrs.get_int("axis", -1) % x.ndim
+    epsilon = node.attrs.get_float("epsilon", 1e-5)
+    reduce_axes = tuple(range(axis, x.ndim))
+    mean = x.mean(axis=reduce_axes, keepdims=True)
+    var = x.var(axis=reduce_axes, keepdims=True)
+    normalised = (x - mean) / np.sqrt(var + epsilon)
+    out = normalised * scale
+    if bias is not None:
+        out = out + bias
+    return [out.astype(x.dtype, copy=False)]
+
+
+@kernel("GroupNormalization", "default", priority=100)
+def group_norm(inputs: Sequence[np.ndarray], node: Node,
+               ctx: ExecutionContext) -> list[np.ndarray]:
+    """GroupNorm over NCHW input: normalise per (batch, channel-group)."""
+    x, scale, bias = inputs[0], inputs[1], inputs[2]
+    groups = node.attrs.get_int("num_groups")
+    epsilon = node.attrs.get_float("epsilon", 1e-5)
+    batch, channels = x.shape[0], x.shape[1]
+    grouped = x.reshape(batch, groups, channels // groups, *x.shape[2:])
+    reduce_axes = tuple(range(2, grouped.ndim))
+    mean = grouped.mean(axis=reduce_axes, keepdims=True)
+    var = grouped.var(axis=reduce_axes, keepdims=True)
+    normalised = ((grouped - mean) / np.sqrt(var + epsilon)).reshape(x.shape)
+    channel_shape = (1, channels) + (1,) * (x.ndim - 2)
+    out = (normalised * scale.reshape(channel_shape)
+           + bias.reshape(channel_shape))
+    return [out.astype(x.dtype, copy=False)]
+
+
+@kernel("Gelu", "default", priority=100)
+def gelu(inputs: Sequence[np.ndarray], node: Node,
+         ctx: ExecutionContext) -> list[np.ndarray]:
+    """Gelu: exact (erf) by default, tanh approximation on request."""
+    x = inputs[0]
+    approximate = node.attrs.get_str("approximate", "none")
+    if approximate == "tanh":
+        inner = np.sqrt(2.0 / np.pi) * (x + 0.044715 * x ** 3)
+        out = 0.5 * x * (1.0 + np.tanh(inner))
+        return [out.astype(x.dtype, copy=False)]
+    from repro.kernels.activation_kernels import erf
+    half_erf = erf([x / np.sqrt(2.0)], node, ctx)[0]
+    return [(0.5 * x * (1.0 + half_erf)).astype(x.dtype, copy=False)]

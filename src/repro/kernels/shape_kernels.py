@@ -1,0 +1,131 @@
+"""Data-movement and shape-manipulation kernels."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.ir.node import Node
+from repro.kernels.context import ExecutionContext
+from repro.kernels.registry import kernel
+
+
+@kernel("Identity", "default", priority=100)
+def identity(inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext) -> list[np.ndarray]:
+    return [inputs[0]]
+
+
+@kernel("Dropout", "default", priority=100)
+def dropout(inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext) -> list[np.ndarray]:
+    """Inference-mode dropout: identity (plus an all-true mask if requested)."""
+    outputs: list[np.ndarray] = [inputs[0]]
+    if len(node.outputs) > 1:
+        outputs.append(np.ones(inputs[0].shape, dtype=bool))
+    return outputs
+
+
+@kernel("Flatten", "default", priority=100)
+def flatten(inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext) -> list[np.ndarray]:
+    x = inputs[0]
+    axis = node.attrs.get_int("axis", 1)
+    axis %= max(x.ndim, 1)
+    lead = int(np.prod(x.shape[:axis], dtype=np.int64)) if axis else 1
+    return [x.reshape(lead, -1)]
+
+
+@kernel("Reshape", "default", priority=100)
+def reshape(inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext) -> list[np.ndarray]:
+    x = inputs[0]
+    if len(inputs) > 1:
+        target = [int(dim) for dim in np.asarray(inputs[1]).reshape(-1)]
+    else:
+        target = list(node.attrs.get_ints("shape"))
+    allowzero = node.attrs.get_int("allowzero", 0)
+    if not allowzero:
+        target = [x.shape[i] if dim == 0 else dim for i, dim in enumerate(target)]
+    return [x.reshape(target)]
+
+
+@kernel("Transpose", "default", priority=100)
+def transpose(inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext) -> list[np.ndarray]:
+    x = inputs[0]
+    perm = node.attrs.get_ints("perm", tuple(reversed(range(x.ndim))))
+    return [np.ascontiguousarray(x.transpose(perm))]
+
+
+@kernel("Concat", "default", priority=100)
+def concat(inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext) -> list[np.ndarray]:
+    axis = node.attrs.get_int("axis")
+    return [np.concatenate(list(inputs), axis=axis)]
+
+
+@kernel("Pad", "default", priority=100)
+def pad(inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext) -> list[np.ndarray]:
+    """ONNX Pad: constant / reflect / edge, pads as attr or input."""
+    x = inputs[0]
+    rank = x.ndim
+    if len(inputs) > 1 and inputs[1] is not None and inputs[1].size:
+        pads = [int(p) for p in np.asarray(inputs[1]).reshape(-1)]
+    else:
+        pads = list(node.attrs.get_ints("pads"))
+    value = 0.0
+    if len(inputs) > 2 and inputs[2] is not None and inputs[2].size:
+        value = float(np.asarray(inputs[2]).reshape(-1)[0])
+    elif "value" in node.attrs:
+        value = node.attrs.get_float("value")
+    mode = node.attrs.get_str("mode", "constant")
+    width = [(pads[axis], pads[axis + rank]) for axis in range(rank)]
+    if mode == "constant":
+        return [np.pad(x, width, mode="constant", constant_values=value)]
+    if mode == "reflect":
+        return [np.pad(x, width, mode="reflect")]
+    if mode == "edge":
+        return [np.pad(x, width, mode="edge")]
+    raise ValueError(f"unsupported Pad mode {mode!r}")
+
+
+@kernel("Squeeze", "default", priority=100)
+def squeeze(inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext) -> list[np.ndarray]:
+    x = inputs[0]
+    if len(inputs) > 1 and inputs[1] is not None and inputs[1].size:
+        axes = tuple(int(a) % x.ndim for a in np.asarray(inputs[1]).reshape(-1))
+    elif "axes" in node.attrs:
+        axes = tuple(int(a) % x.ndim for a in node.attrs.get_ints("axes"))
+    else:
+        axes = tuple(axis for axis, dim in enumerate(x.shape) if dim == 1)
+    return [np.squeeze(x, axis=axes)]
+
+
+@kernel("Unsqueeze", "default", priority=100)
+def unsqueeze(inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext) -> list[np.ndarray]:
+    x = inputs[0]
+    if len(inputs) > 1 and inputs[1] is not None and inputs[1].size:
+        axes = [int(a) for a in np.asarray(inputs[1]).reshape(-1)]
+    else:
+        axes = list(node.attrs.get_ints("axes"))
+    out_rank = x.ndim + len(axes)
+    axes = sorted(axis % out_rank for axis in axes)
+    out = x
+    for axis in axes:
+        out = np.expand_dims(out, axis)
+    return [out]
+
+
+@kernel("ReduceMean", "default", priority=100)
+def reduce_mean(inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext) -> list[np.ndarray]:
+    x = inputs[0]
+    axes = node.attrs.get_ints("axes", tuple(range(x.ndim)))
+    axes = tuple(axis % x.ndim for axis in axes)
+    keepdims = bool(node.attrs.get_int("keepdims", 1))
+    return [x.mean(axis=axes, keepdims=keepdims).astype(x.dtype, copy=False)]
+
+
+@kernel("Constant", "default", priority=100)
+def constant(inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext) -> list[np.ndarray]:
+    return [node.attrs.get_tensor("value")]
+
+
+@kernel("Shape", "default", priority=100)
+def shape_op(inputs: Sequence[np.ndarray], node: Node, ctx: ExecutionContext) -> list[np.ndarray]:
+    return [np.asarray(inputs[0].shape, dtype=np.int64)]

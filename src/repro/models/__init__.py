@@ -1,0 +1,34 @@
+"""Model zoo: the five networks of the paper's Figure 2, plus SqueezeNet."""
+
+from repro.models.common import INPUT_NAME, OUTPUT_NAME
+from repro.models.inception import build_inception_v3
+from repro.models.mobilenet import build_mobilenet_v1
+from repro.models.resnet import build_resnet
+from repro.models.squeezenet import build_squeezenet
+from repro.models.wrn import build_wrn
+from repro.models.zoo import (
+    FIGURE2_MODELS,
+    ZooEntry,
+    build,
+    get_entry,
+    input_shape,
+    list_models,
+    register_model,
+)
+
+__all__ = [
+    "FIGURE2_MODELS",
+    "INPUT_NAME",
+    "OUTPUT_NAME",
+    "ZooEntry",
+    "build",
+    "build_inception_v3",
+    "build_mobilenet_v1",
+    "build_resnet",
+    "build_squeezenet",
+    "build_wrn",
+    "get_entry",
+    "input_shape",
+    "list_models",
+    "register_model",
+]

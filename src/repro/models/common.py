@@ -1,0 +1,25 @@
+"""Shared conventions for the model zoo.
+
+Every zoo model has one input named ``input`` and one output named
+``output`` (class probabilities or logits), NCHW float32, so the benchmark
+harness and framework adapters can treat all models uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+
+INPUT_NAME = "input"
+OUTPUT_NAME = "output"
+
+
+def finalize_classifier(builder: GraphBuilder, logits: str,
+                        softmax: bool = True) -> Graph:
+    """Attach the standard classifier tail and normalise the output name."""
+    final = builder.softmax(logits) if softmax else logits
+    builder.output(final)
+    graph = builder.finish()
+    graph.rename_value(final, OUTPUT_NAME)
+    graph.validate()
+    return graph

@@ -1,0 +1,119 @@
+"""Inception-v3 (Szegedy et al., 2015), following the torchvision layout.
+
+The architecturally richest model in the paper's Figure 2: factorised
+convolutions (1x7/7x1, 1x3/3x1), parallel branches merged by Concat, and
+grid-reduction blocks. Exercises asymmetric kernels/padding and multi-input
+concatenation throughout the stack. The auxiliary classifier is omitted —
+it only exists for training.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+from repro.models.common import INPUT_NAME, finalize_classifier
+
+
+def _cbr(builder: GraphBuilder, x: str, channels: int, kernel, stride=1, pad=0) -> str:
+    """Conv-BN-ReLU, the basic Inception unit."""
+    y = builder.conv(x, channels, kernel, stride=stride, pad=pad, bias=False)
+    return builder.relu(builder.batch_norm(y))
+
+
+def _inception_a(builder: GraphBuilder, x: str, pool_features: int) -> str:
+    b1 = _cbr(builder, x, 64, 1)
+    b5 = _cbr(builder, x, 48, 1)
+    b5 = _cbr(builder, b5, 64, 5, pad=2)
+    b3 = _cbr(builder, x, 64, 1)
+    b3 = _cbr(builder, b3, 96, 3, pad=1)
+    b3 = _cbr(builder, b3, 96, 3, pad=1)
+    pool = builder.average_pool(x, 3, stride=1, pad=1, count_include_pad=False)
+    pool = _cbr(builder, pool, pool_features, 1)
+    return builder.concat([b1, b5, b3, pool])
+
+
+def _inception_b(builder: GraphBuilder, x: str) -> str:
+    """Grid reduction 35x35 -> 17x17."""
+    b3 = _cbr(builder, x, 384, 3, stride=2)
+    dbl = _cbr(builder, x, 64, 1)
+    dbl = _cbr(builder, dbl, 96, 3, pad=1)
+    dbl = _cbr(builder, dbl, 96, 3, stride=2)
+    pool = builder.max_pool(x, 3, stride=2)
+    return builder.concat([b3, dbl, pool])
+
+
+def _inception_c(builder: GraphBuilder, x: str, channels_7x7: int) -> str:
+    c7 = channels_7x7
+    b1 = _cbr(builder, x, 192, 1)
+    b7 = _cbr(builder, x, c7, 1)
+    b7 = _cbr(builder, b7, c7, (1, 7), pad=(0, 3))
+    b7 = _cbr(builder, b7, 192, (7, 1), pad=(3, 0))
+    dbl = _cbr(builder, x, c7, 1)
+    dbl = _cbr(builder, dbl, c7, (7, 1), pad=(3, 0))
+    dbl = _cbr(builder, dbl, c7, (1, 7), pad=(0, 3))
+    dbl = _cbr(builder, dbl, c7, (7, 1), pad=(3, 0))
+    dbl = _cbr(builder, dbl, 192, (1, 7), pad=(0, 3))
+    pool = builder.average_pool(x, 3, stride=1, pad=1, count_include_pad=False)
+    pool = _cbr(builder, pool, 192, 1)
+    return builder.concat([b1, b7, dbl, pool])
+
+
+def _inception_d(builder: GraphBuilder, x: str) -> str:
+    """Grid reduction 17x17 -> 8x8."""
+    b3 = _cbr(builder, x, 192, 1)
+    b3 = _cbr(builder, b3, 320, 3, stride=2)
+    b7 = _cbr(builder, x, 192, 1)
+    b7 = _cbr(builder, b7, 192, (1, 7), pad=(0, 3))
+    b7 = _cbr(builder, b7, 192, (7, 1), pad=(3, 0))
+    b7 = _cbr(builder, b7, 192, 3, stride=2)
+    pool = builder.max_pool(x, 3, stride=2)
+    return builder.concat([b3, b7, pool])
+
+
+def _inception_e(builder: GraphBuilder, x: str) -> str:
+    b1 = _cbr(builder, x, 320, 1)
+    b3 = _cbr(builder, x, 384, 1)
+    b3a = _cbr(builder, b3, 384, (1, 3), pad=(0, 1))
+    b3b = _cbr(builder, b3, 384, (3, 1), pad=(1, 0))
+    b3 = builder.concat([b3a, b3b])
+    dbl = _cbr(builder, x, 448, 1)
+    dbl = _cbr(builder, dbl, 384, 3, pad=1)
+    dbla = _cbr(builder, dbl, 384, (1, 3), pad=(0, 1))
+    dblb = _cbr(builder, dbl, 384, (3, 1), pad=(1, 0))
+    dbl = builder.concat([dbla, dblb])
+    pool = builder.average_pool(x, 3, stride=1, pad=1, count_include_pad=False)
+    pool = _cbr(builder, pool, 192, 1)
+    return builder.concat([b1, b3, dbl, pool])
+
+
+def build_inception_v3(
+    num_classes: int = 1000,
+    batch: int = 1,
+    image_size: int = 299,
+    seed: int = 0,
+    softmax: bool = True,
+) -> Graph:
+    """Build Inception-v3 (299x299 canonical input)."""
+    builder = GraphBuilder("inception-v3", seed=seed)
+    x = builder.input(INPUT_NAME, (batch, 3, image_size, image_size))
+    y = _cbr(builder, x, 32, 3, stride=2)
+    y = _cbr(builder, y, 32, 3)
+    y = _cbr(builder, y, 64, 3, pad=1)
+    y = builder.max_pool(y, 3, stride=2)
+    y = _cbr(builder, y, 80, 1)
+    y = _cbr(builder, y, 192, 3)
+    y = builder.max_pool(y, 3, stride=2)
+    y = _inception_a(builder, y, pool_features=32)
+    y = _inception_a(builder, y, pool_features=64)
+    y = _inception_a(builder, y, pool_features=64)
+    y = _inception_b(builder, y)
+    for c7 in (128, 160, 160, 192):
+        y = _inception_c(builder, y, channels_7x7=c7)
+    y = _inception_d(builder, y)
+    y = _inception_e(builder, y)
+    y = _inception_e(builder, y)
+    y = builder.global_average_pool(y)
+    y = builder.dropout(y, 0.5)
+    y = builder.flatten(y)
+    logits = builder.dense(y, num_classes)
+    return finalize_classifier(builder, logits, softmax=softmax)

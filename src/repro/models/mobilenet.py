@@ -1,0 +1,59 @@
+"""MobileNetV1 (Howard et al., 2017).
+
+The depthwise-separable workhorse of the paper's evaluation: 13 blocks of
+``depthwise 3x3 -> BN -> ReLU -> pointwise 1x1 -> BN -> ReLU``. Its
+inference time is dominated by the quality of the depthwise kernel — the
+paper's Figure 2 shows PyTorch collapsing on exactly this model.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelZooError
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+from repro.models.common import INPUT_NAME, finalize_classifier
+
+# (pointwise output channels, depthwise stride) for the 13 blocks.
+_BLOCKS: tuple[tuple[int, int], ...] = (
+    (64, 1),
+    (128, 2), (128, 1),
+    (256, 2), (256, 1),
+    (512, 2), (512, 1), (512, 1), (512, 1), (512, 1), (512, 1),
+    (1024, 2), (1024, 1),
+)
+
+
+def _separable_block(
+    builder: GraphBuilder, x: str, out_channels: int, stride: int
+) -> str:
+    y = builder.depthwise_conv(x, 3, stride=stride, pad=1, bias=False)
+    y = builder.relu(builder.batch_norm(y))
+    y = builder.conv(y, out_channels, 1, bias=False)
+    return builder.relu(builder.batch_norm(y))
+
+
+def build_mobilenet_v1(
+    num_classes: int = 1000,
+    batch: int = 1,
+    image_size: int = 224,
+    width_multiplier: float = 1.0,
+    seed: int = 0,
+    softmax: bool = True,
+) -> Graph:
+    """Build MobileNetV1 with an optional width multiplier (alpha)."""
+    if width_multiplier <= 0:
+        raise ModelZooError(f"width_multiplier must be > 0, got {width_multiplier}")
+
+    def scaled(channels: int) -> int:
+        return max(8, int(channels * width_multiplier))
+
+    builder = GraphBuilder(f"mobilenet-v1-{width_multiplier:g}", seed=seed)
+    x = builder.input(INPUT_NAME, (batch, 3, image_size, image_size))
+    y = builder.conv(x, scaled(32), 3, stride=2, pad=1, bias=False)
+    y = builder.relu(builder.batch_norm(y))
+    for out_channels, stride in _BLOCKS:
+        y = _separable_block(builder, y, scaled(out_channels), stride)
+    y = builder.global_average_pool(y)
+    y = builder.flatten(y)
+    logits = builder.dense(y, num_classes)
+    return finalize_classifier(builder, logits, softmax=softmax)

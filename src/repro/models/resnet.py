@@ -1,0 +1,75 @@
+"""ResNets (He et al., 2015): ResNet-18 (basic blocks) and ResNet-50
+(bottlenecks), the two "big model" entries of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelZooError
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+from repro.models.common import INPUT_NAME, finalize_classifier
+
+
+def _basic_block(builder: GraphBuilder, x: str, channels: int, stride: int) -> str:
+    identity = x
+    y = builder.conv(x, channels, 3, stride=stride, pad=1, bias=False)
+    y = builder.relu(builder.batch_norm(y))
+    y = builder.conv(y, channels, 3, pad=1, bias=False)
+    y = builder.batch_norm(y)
+    if stride != 1 or builder.shape_of(x)[1] != channels:
+        identity = builder.batch_norm(
+            builder.conv(x, channels, 1, stride=stride, bias=False))
+    return builder.relu(builder.add(y, identity))
+
+
+def _bottleneck(builder: GraphBuilder, x: str, channels: int, stride: int) -> str:
+    expansion = 4
+    identity = x
+    y = builder.conv(x, channels, 1, bias=False)
+    y = builder.relu(builder.batch_norm(y))
+    y = builder.conv(y, channels, 3, stride=stride, pad=1, bias=False)
+    y = builder.relu(builder.batch_norm(y))
+    y = builder.conv(y, channels * expansion, 1, bias=False)
+    y = builder.batch_norm(y)
+    if stride != 1 or builder.shape_of(x)[1] != channels * expansion:
+        identity = builder.batch_norm(
+            builder.conv(x, channels * expansion, 1, stride=stride, bias=False))
+    return builder.relu(builder.add(y, identity))
+
+
+_CONFIGS = {
+    18: ("basic", (2, 2, 2, 2)),
+    34: ("basic", (3, 4, 6, 3)),
+    50: ("bottleneck", (3, 4, 6, 3)),
+    101: ("bottleneck", (3, 4, 23, 3)),
+}
+
+
+def build_resnet(
+    depth: int = 18,
+    num_classes: int = 1000,
+    batch: int = 1,
+    image_size: int = 224,
+    seed: int = 0,
+    softmax: bool = True,
+) -> Graph:
+    """Build a ResNet of the given ``depth`` (18/34/50/101)."""
+    if depth not in _CONFIGS:
+        raise ModelZooError(
+            f"unsupported ResNet depth {depth}; choose from {sorted(_CONFIGS)}")
+    block_kind, stage_sizes = _CONFIGS[depth]
+    block = _basic_block if block_kind == "basic" else _bottleneck
+    builder = GraphBuilder(f"resnet{depth}", seed=seed)
+    x = builder.input(INPUT_NAME, (batch, 3, image_size, image_size))
+    y = builder.conv(x, 64, 7, stride=2, pad=3, bias=False)
+    y = builder.relu(builder.batch_norm(y))
+    y = builder.max_pool(y, 3, stride=2, pad=1)
+    for stage, blocks in enumerate(stage_sizes):
+        channels = 64 * (2 ** stage)
+        for index in range(blocks):
+            stride = 2 if (stage > 0 and index == 0) else 1
+            y = block(builder, y, channels, stride)
+    y = builder.global_average_pool(y)
+    y = builder.flatten(y)
+    logits = builder.dense(y, num_classes)
+    return finalize_classifier(builder, logits, softmax=softmax)

@@ -1,0 +1,52 @@
+"""SqueezeNet 1.1 (Iandola et al., 2016).
+
+Not part of the paper's Figure 2, but the canonical edge-inference network
+of the period and a useful zoo citizen: fire modules exercise squeeze /
+expand 1x1-3x3 towers merged by Concat, there is no batch norm anywhere
+(so the BN-fold pass must cleanly no-op), and the classifier is a 1x1
+convolution rather than a Gemm.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+from repro.models.common import INPUT_NAME, finalize_classifier
+
+# (squeeze, expand1x1, expand3x3) per fire module, SqueezeNet 1.1 layout.
+_FIRES = ((16, 64, 64), (16, 64, 64),
+          (32, 128, 128), (32, 128, 128),
+          (48, 192, 192), (48, 192, 192),
+          (64, 256, 256), (64, 256, 256))
+# Max-pools sit before fire modules at these indices (1.1 layout).
+_POOL_BEFORE = (0, 2, 4)
+
+
+def _fire(builder: GraphBuilder, x: str, squeeze: int,
+          expand1: int, expand3: int) -> str:
+    squeezed = builder.relu(builder.conv(x, squeeze, 1))
+    left = builder.relu(builder.conv(squeezed, expand1, 1))
+    right = builder.relu(builder.conv(squeezed, expand3, 3, pad=1))
+    return builder.concat([left, right])
+
+
+def build_squeezenet(
+    num_classes: int = 1000,
+    batch: int = 1,
+    image_size: int = 224,
+    seed: int = 0,
+    softmax: bool = True,
+) -> Graph:
+    """Build SqueezeNet 1.1."""
+    builder = GraphBuilder("squeezenet-1.1", seed=seed)
+    x = builder.input(INPUT_NAME, (batch, 3, image_size, image_size))
+    y = builder.relu(builder.conv(x, 64, 3, stride=2, pad=1))
+    for index, (squeeze, expand1, expand3) in enumerate(_FIRES):
+        if index in _POOL_BEFORE:
+            y = builder.max_pool(y, 3, stride=2, pad=0)
+        y = _fire(builder, y, squeeze, expand1, expand3)
+    y = builder.dropout(y, 0.5)
+    y = builder.relu(builder.conv(y, num_classes, 1))
+    y = builder.global_average_pool(y)
+    logits = builder.flatten(y)
+    return finalize_classifier(builder, logits, softmax=softmax)

@@ -1,0 +1,59 @@
+"""Wide Residual Network (Zagoruyko & Komodakis, 2016).
+
+WRN-40-2 — depth 40, widening factor 2 on CIFAR-sized 32x32 inputs — is the
+smallest model in the paper's Figure 2. Pre-activation basic blocks
+(BN-ReLU-Conv), three stages of widths ``16k/32k/64k``, ``(depth-4)/6``
+blocks per stage.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelZooError
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+from repro.models.common import INPUT_NAME, finalize_classifier
+
+
+def _preact_block(
+    builder: GraphBuilder, x: str, out_channels: int, stride: int
+) -> str:
+    """Pre-activation basic block with projection shortcut when needed."""
+    in_channels = builder.shape_of(x)[1]
+    preact = builder.relu(builder.batch_norm(x))
+    if in_channels != out_channels or stride != 1:
+        shortcut = builder.conv(
+            preact, out_channels, 1, stride=stride, bias=False)
+    else:
+        shortcut = x
+    y = builder.conv(preact, out_channels, 3, stride=stride, pad=1, bias=False)
+    y = builder.relu(builder.batch_norm(y))
+    y = builder.conv(y, out_channels, 3, stride=1, pad=1, bias=False)
+    return builder.add(y, shortcut)
+
+
+def build_wrn(
+    depth: int = 40,
+    widen: int = 2,
+    num_classes: int = 10,
+    batch: int = 1,
+    image_size: int = 32,
+    seed: int = 0,
+    softmax: bool = True,
+) -> Graph:
+    """Build WRN-``depth``-``widen`` (default WRN-40-2)."""
+    if (depth - 4) % 6 != 0:
+        raise ModelZooError(f"WRN depth must be 6n+4, got {depth}")
+    blocks_per_stage = (depth - 4) // 6
+    widths = [16, 16 * widen, 32 * widen, 64 * widen]
+    builder = GraphBuilder(f"wrn-{depth}-{widen}", seed=seed)
+    x = builder.input(INPUT_NAME, (batch, 3, image_size, image_size))
+    y = builder.conv(x, widths[0], 3, pad=1, bias=False)
+    for stage, width in enumerate(widths[1:], start=1):
+        for block in range(blocks_per_stage):
+            stride = 2 if (stage > 1 and block == 0) else 1
+            y = _preact_block(builder, y, width, stride)
+    y = builder.relu(builder.batch_norm(y))
+    y = builder.global_average_pool(y)
+    y = builder.flatten(y)
+    logits = builder.dense(y, num_classes)
+    return finalize_classifier(builder, logits, softmax=softmax)

@@ -1,0 +1,126 @@
+"""The model zoo registry.
+
+``build(name)`` returns a validated graph with seeded random weights;
+``input_shape(name)`` gives the canonical NCHW input. The five registered
+names are exactly the models of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from repro.errors import ModelZooError
+from repro.ir.graph import Graph
+from repro.models.inception import build_inception_v3
+from repro.models.mobilenet import build_mobilenet_v1
+from repro.models.resnet import build_resnet
+from repro.models.squeezenet import build_squeezenet
+from repro.models.wrn import build_wrn
+
+
+@dataclasses.dataclass(frozen=True)
+class ZooEntry:
+    """One registered model: its builder and canonical input geometry."""
+
+    name: str
+    builder: Callable[..., Graph]
+    image_size: int
+    num_classes: int
+    description: str
+
+    def input_shape(self, batch: int = 1) -> tuple[int, int, int, int]:
+        return (batch, 3, self.image_size, self.image_size)
+
+
+_ZOO: dict[str, ZooEntry] = {}
+
+
+def register_model(entry: ZooEntry) -> ZooEntry:
+    if entry.name in _ZOO:
+        raise ModelZooError(f"model {entry.name!r} already registered")
+    _ZOO[entry.name] = entry
+    return entry
+
+
+register_model(ZooEntry(
+    name="wrn-40-2",
+    builder=lambda **kw: build_wrn(depth=40, widen=2, **kw),
+    image_size=32, num_classes=10,
+    description="Wide ResNet 40-2 (CIFAR-10 scale)"))
+register_model(ZooEntry(
+    name="mobilenet-v1",
+    builder=build_mobilenet_v1,
+    image_size=224, num_classes=1000,
+    description="MobileNetV1 1.0 (depthwise separable)"))
+register_model(ZooEntry(
+    name="resnet18",
+    builder=lambda **kw: build_resnet(depth=18, **kw),
+    image_size=224, num_classes=1000,
+    description="ResNet-18 (basic blocks)"))
+register_model(ZooEntry(
+    name="resnet50",
+    builder=lambda **kw: build_resnet(depth=50, **kw),
+    image_size=224, num_classes=1000,
+    description="ResNet-50 (bottlenecks)"))
+register_model(ZooEntry(
+    name="squeezenet",
+    builder=build_squeezenet,
+    image_size=224, num_classes=1000,
+    description="SqueezeNet 1.1 (fire modules; not in the paper's Figure 2)"))
+register_model(ZooEntry(
+    name="inception-v3",
+    builder=build_inception_v3,
+    image_size=299, num_classes=1000,
+    description="Inception-v3 (factorised convolutions)"))
+
+#: The evaluation order used by the paper's Figure 2 (small to large).
+FIGURE2_MODELS = (
+    "wrn-40-2", "mobilenet-v1", "resnet18", "inception-v3", "resnet50")
+
+
+def list_models() -> list[ZooEntry]:
+    return [_ZOO[name] for name in sorted(_ZOO)]
+
+
+def get_entry(name: str) -> ZooEntry:
+    try:
+        return _ZOO[name]
+    except KeyError:
+        raise ModelZooError(
+            f"unknown model {name!r}; available: {sorted(_ZOO)}") from None
+
+
+def build(
+    name: str,
+    batch: int = 1,
+    image_size: int | None = None,
+    seed: int = 0,
+    softmax: bool = True,
+    **overrides: object,
+) -> Graph:
+    """Build a zoo model by name.
+
+    Args:
+        name: a registered model name (see :func:`list_models`).
+        batch: batch dimension of the graph input.
+        image_size: override the canonical input resolution (used by the
+            quick benchmark modes).
+        seed: weight RNG seed — same seed, bit-identical model.
+        softmax: append the softmax head (off for logit-level comparisons).
+        **overrides: extra builder-specific keyword arguments.
+    """
+    entry = get_entry(name)
+    kwargs: dict[str, object] = {
+        "batch": batch,
+        "image_size": image_size if image_size is not None else entry.image_size,
+        "seed": seed,
+        "softmax": softmax,
+    }
+    kwargs.update(overrides)
+    return entry.builder(**kwargs)
+
+
+def input_shape(name: str, batch: int = 1) -> tuple[int, int, int, int]:
+    """Canonical NCHW input shape for a zoo model."""
+    return get_entry(name).input_shape(batch)

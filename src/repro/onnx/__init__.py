@@ -1,0 +1,29 @@
+"""ONNX interop: from-scratch protobuf codec, importer, exporter."""
+
+from repro.onnx.reader import graph_from_proto, load_model, load_model_bytes
+from repro.onnx.schema import (
+    AttributeProto,
+    GraphProto,
+    ModelProto,
+    NodeProto,
+    OperatorSetIdProto,
+    TensorProto,
+    ValueInfoProto,
+)
+from repro.onnx.writer import graph_to_proto, save_model, save_model_bytes
+
+__all__ = [
+    "AttributeProto",
+    "GraphProto",
+    "ModelProto",
+    "NodeProto",
+    "OperatorSetIdProto",
+    "TensorProto",
+    "ValueInfoProto",
+    "graph_from_proto",
+    "graph_to_proto",
+    "load_model",
+    "load_model_bytes",
+    "save_model",
+    "save_model_bytes",
+]

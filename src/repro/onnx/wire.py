@@ -1,0 +1,236 @@
+"""Protocol-buffers wire format, from scratch.
+
+ONNX models are protobuf messages; to keep the framework dependency-free
+(the paper's "minimal dependencies" design goal) this module implements the
+wire format directly: varints, the four wire types, tagged fields, packed
+repeated scalars. Schema knowledge lives in :mod:`repro.onnx.schema`; this
+module is schema-agnostic.
+
+Reference: https://protobuf.dev/programming-guides/encoding/
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterator, Sequence
+
+from repro.errors import WireFormatError
+
+# Wire types
+VARINT = 0
+FIXED64 = 1
+LENGTH_DELIMITED = 2
+FIXED32 = 5
+
+_WIRE_TYPE_NAMES = {VARINT: "varint", FIXED64: "fixed64",
+                    LENGTH_DELIMITED: "length-delimited", FIXED32: "fixed32"}
+
+
+# ---------------------------------------------------------------------------
+# varints
+# ---------------------------------------------------------------------------
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a base-128 varint."""
+    if value < 0:
+        raise WireFormatError(
+            f"varint cannot encode negative value {value}; "
+            "use encode_signed_varint for int64 two's-complement semantics")
+    out = bytearray()
+    while True:
+        bits = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(bits | 0x80)
+        else:
+            out.append(bits)
+            return bytes(out)
+
+
+def encode_signed_varint(value: int) -> bytes:
+    """Encode a possibly-negative int64 (two's complement, 10 bytes max)."""
+    if value < 0:
+        value += 1 << 64
+    return encode_varint(value)
+
+
+def decode_varint(data: bytes, pos: int = 0) -> tuple[int, int]:
+    """Decode a varint at ``pos``; returns (value, new_pos)."""
+    result = 0
+    shift = 0
+    start = pos
+    while True:
+        if pos >= len(data):
+            raise WireFormatError(f"truncated varint at offset {start}")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift >= 70:
+            raise WireFormatError(f"varint longer than 10 bytes at offset {start}")
+
+
+def decode_signed_varint(data: bytes, pos: int = 0) -> tuple[int, int]:
+    """Decode a varint, interpreting it as a two's-complement int64."""
+    value, pos = decode_varint(data, pos)
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value, pos
+
+
+def encode_zigzag(value: int) -> int:
+    """ZigZag-map a signed integer (sint32/sint64 fields)."""
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def decode_zigzag(value: int) -> int:
+    """Inverse ZigZag mapping."""
+    return (value >> 1) ^ -(value & 1)
+
+
+# ---------------------------------------------------------------------------
+# tags and fields
+# ---------------------------------------------------------------------------
+
+
+def encode_tag(field_number: int, wire_type: int) -> bytes:
+    if field_number < 1:
+        raise WireFormatError(f"invalid field number {field_number}")
+    if wire_type not in _WIRE_TYPE_NAMES:
+        raise WireFormatError(f"invalid wire type {wire_type}")
+    return encode_varint((field_number << 3) | wire_type)
+
+
+def decode_tag(data: bytes, pos: int) -> tuple[int, int, int]:
+    """Decode a tag; returns (field_number, wire_type, new_pos)."""
+    key, pos = decode_varint(data, pos)
+    field_number = key >> 3
+    wire_type = key & 0x7
+    if field_number < 1:
+        raise WireFormatError(f"invalid field number {field_number} in tag")
+    if wire_type not in _WIRE_TYPE_NAMES:
+        raise WireFormatError(
+            f"unsupported wire type {wire_type} for field {field_number}")
+    return field_number, wire_type, pos
+
+
+class MessageWriter:
+    """Accumulates tagged fields into protobuf message bytes."""
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+
+    def varint(self, field: int, value: int) -> "MessageWriter":
+        self._chunks.append(encode_tag(field, VARINT))
+        self._chunks.append(encode_signed_varint(int(value)))
+        return self
+
+    def fixed32(self, field: int, value: float) -> "MessageWriter":
+        self._chunks.append(encode_tag(field, FIXED32))
+        self._chunks.append(struct.pack("<f", value))
+        return self
+
+    def fixed64(self, field: int, value: float) -> "MessageWriter":
+        self._chunks.append(encode_tag(field, FIXED64))
+        self._chunks.append(struct.pack("<d", value))
+        return self
+
+    def bytes_field(self, field: int, value: bytes) -> "MessageWriter":
+        self._chunks.append(encode_tag(field, LENGTH_DELIMITED))
+        self._chunks.append(encode_varint(len(value)))
+        self._chunks.append(value)
+        return self
+
+    def string(self, field: int, value: str) -> "MessageWriter":
+        return self.bytes_field(field, value.encode("utf-8"))
+
+    def message(self, field: int, value: "bytes | MessageWriter") -> "MessageWriter":
+        if isinstance(value, MessageWriter):
+            value = value.finish()
+        return self.bytes_field(field, value)
+
+    def packed_varints(self, field: int, values: Sequence[int]) -> "MessageWriter":
+        body = b"".join(encode_signed_varint(int(v)) for v in values)
+        return self.bytes_field(field, body)
+
+    def packed_floats(self, field: int, values: Sequence[float]) -> "MessageWriter":
+        return self.bytes_field(field, struct.pack(f"<{len(values)}f", *values))
+
+    def packed_doubles(self, field: int, values: Sequence[float]) -> "MessageWriter":
+        return self.bytes_field(field, struct.pack(f"<{len(values)}d", *values))
+
+    def finish(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+Field = tuple[int, int, "int | bytes"]
+
+
+def iter_fields(data: bytes) -> Iterator[Field]:
+    """Yield (field_number, wire_type, raw_value) for each field in ``data``.
+
+    Varint/fixed values come out as ints (fixed ones as raw little-endian
+    ints — reinterpret with :func:`fixed32_to_float` etc.); length-delimited
+    values come out as bytes.
+    """
+    pos = 0
+    while pos < len(data):
+        field_number, wire_type, pos = decode_tag(data, pos)
+        if wire_type == VARINT:
+            value, pos = decode_varint(data, pos)
+            yield field_number, wire_type, value
+        elif wire_type == FIXED64:
+            if pos + 8 > len(data):
+                raise WireFormatError(f"truncated fixed64 in field {field_number}")
+            yield field_number, wire_type, int.from_bytes(data[pos:pos + 8], "little")
+            pos += 8
+        elif wire_type == FIXED32:
+            if pos + 4 > len(data):
+                raise WireFormatError(f"truncated fixed32 in field {field_number}")
+            yield field_number, wire_type, int.from_bytes(data[pos:pos + 4], "little")
+            pos += 4
+        else:  # LENGTH_DELIMITED
+            length, pos = decode_varint(data, pos)
+            if pos + length > len(data):
+                raise WireFormatError(
+                    f"length-delimited field {field_number} overruns buffer "
+                    f"({length} bytes at offset {pos}, buffer {len(data)})")
+            yield field_number, wire_type, data[pos:pos + length]
+            pos += length
+
+
+def fixed32_to_float(raw: int) -> float:
+    return struct.unpack("<f", raw.to_bytes(4, "little"))[0]
+
+
+def fixed64_to_double(raw: int) -> float:
+    return struct.unpack("<d", raw.to_bytes(8, "little"))[0]
+
+
+def varint_to_int64(raw: int) -> int:
+    return raw - (1 << 64) if raw >= 1 << 63 else raw
+
+
+def decode_packed_varints(data: bytes) -> list[int]:
+    """Decode a packed repeated int64 field body."""
+    values = []
+    pos = 0
+    while pos < len(data):
+        value, pos = decode_varint(data, pos)
+        values.append(varint_to_int64(value))
+    return values
+
+
+def decode_packed_floats(data: bytes) -> list[float]:
+    if len(data) % 4:
+        raise WireFormatError(f"packed float body of {len(data)} bytes")
+    return list(struct.unpack(f"<{len(data) // 4}f", data))
+
+
+def decode_packed_doubles(data: bytes) -> list[float]:
+    if len(data) % 8:
+        raise WireFormatError(f"packed double body of {len(data)} bytes")
+    return list(struct.unpack(f"<{len(data) // 8}d", data))

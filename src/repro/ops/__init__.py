@@ -1,0 +1,26 @@
+"""Operator schemas: arity/attribute contracts for the supported op set."""
+
+from repro.ops import catalog  # noqa: F401  (registers the schema catalog)
+from repro.ops.registry import (
+    AttrKind,
+    AttrSpec,
+    OpSchema,
+    get_schema,
+    has_schema,
+    register_op,
+    schema_names,
+    validate_graph_nodes,
+    validate_node,
+)
+
+__all__ = [
+    "AttrKind",
+    "AttrSpec",
+    "OpSchema",
+    "get_schema",
+    "has_schema",
+    "register_op",
+    "schema_names",
+    "validate_graph_nodes",
+    "validate_node",
+]

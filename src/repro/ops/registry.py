@@ -1,0 +1,115 @@
+"""Operator schemas: arity and attribute contracts for every supported op.
+
+Shape inference (:mod:`repro.ir.shape_inference`) defines *what an op
+computes*; the schemas here define *what a well-formed node looks like* —
+input/output arity and the names, kinds, and defaults of attributes. The
+ONNX importer and the session's prepare step validate against them, so a
+malformed model fails with "Conv: unexpected attribute 'stride' (did you
+mean 'strides'?)" instead of a kernel crash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import enum
+from collections.abc import Mapping
+
+from repro.errors import AttributeError_, UnsupportedOpError
+from repro.ir.node import Node
+
+
+class AttrKind(enum.Enum):
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    INTS = "ints"
+    FLOATS = "floats"
+    TENSOR = "tensor"
+
+
+@dataclasses.dataclass(frozen=True)
+class AttrSpec:
+    """One attribute's contract."""
+
+    kind: AttrKind
+    required: bool = False
+    default: object = None
+
+
+@dataclasses.dataclass(frozen=True)
+class OpSchema:
+    """Arity and attribute contract for one operator."""
+
+    name: str
+    min_inputs: int
+    max_inputs: int
+    min_outputs: int = 1
+    max_outputs: int = 1
+    attrs: Mapping[str, AttrSpec] = dataclasses.field(default_factory=dict)
+    #: attributes tolerated beyond the declared set (framework-internal)
+    allow_internal: tuple[str, ...] = ("activation",)
+
+    def validate(self, node: Node) -> None:
+        """Raise on arity or attribute violations."""
+        n_in = len(node.inputs)
+        if not self.min_inputs <= n_in <= self.max_inputs:
+            raise UnsupportedOpError(
+                f"{self.name} node {node.name!r}: {n_in} inputs, expected "
+                f"{self.min_inputs}..{self.max_inputs}")
+        n_out = len(node.outputs)
+        if not self.min_outputs <= n_out <= self.max_outputs:
+            raise UnsupportedOpError(
+                f"{self.name} node {node.name!r}: {n_out} outputs, expected "
+                f"{self.min_outputs}..{self.max_outputs}")
+        for attr_name, spec in self.attrs.items():
+            if spec.required and attr_name not in node.attrs:
+                raise AttributeError_(
+                    f"{self.name} node {node.name!r}: missing required "
+                    f"attribute {attr_name!r}")
+        known = set(self.attrs) | set(self.allow_internal)
+        for attr_name in node.attrs.keys():
+            if attr_name not in known:
+                hint = difflib.get_close_matches(attr_name, self.attrs, n=1)
+                suffix = f" (did you mean {hint[0]!r}?)" if hint else ""
+                raise AttributeError_(
+                    f"{self.name} node {node.name!r}: unexpected attribute "
+                    f"{attr_name!r}{suffix}")
+
+
+_SCHEMAS: dict[str, OpSchema] = {}
+
+
+def register_op(schema: OpSchema) -> OpSchema:
+    if schema.name in _SCHEMAS:
+        raise UnsupportedOpError(f"op schema {schema.name!r} registered twice")
+    _SCHEMAS[schema.name] = schema
+    return schema
+
+
+def get_schema(op_type: str) -> OpSchema:
+    try:
+        return _SCHEMAS[op_type]
+    except KeyError:
+        raise UnsupportedOpError(
+            f"no schema for op {op_type!r}; supported: {sorted(_SCHEMAS)}"
+        ) from None
+
+
+def has_schema(op_type: str) -> bool:
+    return op_type in _SCHEMAS
+
+
+def schema_names() -> list[str]:
+    return sorted(_SCHEMAS)
+
+
+def validate_node(node: Node) -> None:
+    """Validate one node against its schema."""
+    get_schema(node.op_type).validate(node)
+
+
+def validate_graph_nodes(nodes) -> None:
+    """Validate every node in an iterable against the schema catalog."""
+    for node in nodes:
+        validate_node(node)

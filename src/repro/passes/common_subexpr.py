@@ -1,0 +1,68 @@
+"""Common-subexpression elimination.
+
+Two nodes computing the same op over the same inputs with the same
+attributes produce the same values; exported graphs accumulate such
+duplicates at branch points (Inception towers re-deriving the same
+pooled/projected tensor, shape-computation chains emitted once per
+consumer). CSE keeps the first node of each equivalence class and rewires
+the rest.
+
+Only deterministic, side-effect-free ops are merged — which is every op in
+this inference runtime except ``Dropout`` in potential training mode, so
+the pass simply requires single-output determinism and skips nothing else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.graph import Graph
+from repro.ir.node import Node
+from repro.passes.pass_manager import GraphPass
+
+
+def _node_key(node: Node) -> tuple:
+    attrs = []
+    for name in sorted(node.attrs.keys()):
+        value = node.attrs.as_dict()[name]
+        if isinstance(value, np.ndarray):
+            value = (value.shape, str(value.dtype), value.tobytes())
+        attrs.append((name, value))
+    return (node.op_type, tuple(node.inputs), tuple(attrs))
+
+
+class CommonSubexpressionElimination(GraphPass):
+    """Merge structurally identical nodes (same op, inputs, attributes)."""
+
+    name = "cse"
+
+    def apply(self, graph: Graph) -> int:
+        merged = 0
+        changed = True
+        while changed:
+            changed = False
+            seen: dict[tuple, Node] = {}
+            output_names = set(graph.output_names)
+            for node in graph.toposort():
+                key = _node_key(node)
+                keeper = seen.get(key)
+                if keeper is None:
+                    seen[key] = node
+                    continue
+                if len(node.outputs) != len(keeper.outputs):
+                    continue
+                if any(out in output_names for out in node.outputs):
+                    # Rewiring a graph output would rename the interface;
+                    # keep the duplicate that produces it instead.
+                    if any(out in output_names for out in keeper.outputs):
+                        continue
+                    seen[key] = node
+                    keeper, node = node, keeper
+                graph.remove_nodes([node])
+                for duplicate, kept in zip(node.outputs, keeper.outputs):
+                    for consumer in graph.nodes:
+                        consumer.replace_input(duplicate, kept)
+                merged += 1
+                changed = True
+                break  # restart: the merge may expose new duplicates
+        return merged

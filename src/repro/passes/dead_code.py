@@ -1,0 +1,28 @@
+"""Dead-node elimination: drop nodes whose outputs nothing consumes."""
+
+from __future__ import annotations
+
+from repro.ir.graph import Graph
+from repro.passes.pass_manager import GraphPass
+
+
+class EliminateDeadNodes(GraphPass):
+    """Remove nodes that contribute to no graph output (backwards sweep)."""
+
+    name = "dead-code"
+
+    def apply(self, graph: Graph) -> int:
+        live: set[str] = set(graph.output_names)
+        # Walk the schedule backwards so one sweep catches whole dead chains.
+        keep = []
+        removed = 0
+        for node in reversed(graph.toposort()):
+            if any(out in live for out in node.outputs):
+                keep.append(node)
+                live.update(node.present_inputs)
+            else:
+                removed += 1
+        if removed:
+            keep.reverse()
+            graph.nodes = keep
+        return removed

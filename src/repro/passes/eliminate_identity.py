@@ -1,0 +1,57 @@
+"""Remove no-op nodes: Identity, and Dropout in inference mode.
+
+Models exported from training frameworks are littered with these; each one
+costs a dispatch and (for naive runtimes) a copy per inference.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import Graph
+from repro.ir.node import Node
+from repro.passes.pass_manager import GraphPass
+
+_NOOP_OPS = ("Identity", "Dropout")
+
+
+class EliminateIdentity(GraphPass):
+    """Drop Identity/Dropout nodes, rewiring consumers to the input value."""
+
+    name = "eliminate-identity"
+
+    def apply(self, graph: Graph) -> int:
+        removed: list[Node] = []
+        output_names = set(graph.output_names)
+        for node in list(graph.nodes):
+            if node.op_type not in _NOOP_OPS:
+                continue
+            if node.op_type == "Dropout" and len(node.outputs) > 1:
+                consumers = graph.consumers()
+                if any(consumers.get(out) for out in node.outputs[1:]):
+                    continue  # someone reads the mask; not a no-op here
+            source = node.inputs[0]
+            result = node.outputs[0]
+            if result in output_names:
+                # The no-op produces a graph output: rename the *source* so
+                # the producer writes the output name directly. Only safe
+                # when the source is an internal, single-named value.
+                producers = graph.producers()
+                producer = producers.get(source)
+                if (
+                    producer is None
+                    or source in output_names
+                    or source in graph.initializers
+                    or source in graph.input_names
+                ):
+                    continue
+                for out_index, out_name in enumerate(producer.outputs):
+                    if out_name == source:
+                        producer.outputs[out_index] = result
+                for consumer in graph.nodes:
+                    if consumer is not node:
+                        consumer.replace_input(source, result)
+            else:
+                for consumer in graph.nodes:
+                    consumer.replace_input(result, source)
+            removed.append(node)
+            graph.remove_nodes([node])
+        return len(removed)

@@ -1,0 +1,77 @@
+"""Fold an explicit zero ``Pad`` node into a following ``Conv``.
+
+Exporters frequently emit ``Pad -> Conv`` instead of setting the Conv's
+``pads`` attribute; folding removes one full copy of the input activation.
+Only zero-valued constant padding restricted to the spatial axes is folded,
+and only into Conv — MaxPool pads with -inf, so a zero-Pad is *not*
+equivalent there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.graph import Graph
+from repro.ir.node import Node
+from repro.passes.pass_manager import GraphPass
+
+
+def _static_pads(graph: Graph, node: Node) -> list[int] | None:
+    """The Pad node's pad amounts if compile-time constant, else None."""
+    if len(node.inputs) > 1 and node.inputs[1]:
+        array = graph.initializers.get(node.inputs[1])
+        if array is None:
+            return None
+        return [int(p) for p in np.asarray(array).reshape(-1)]
+    if "pads" in node.attrs:
+        return list(node.attrs.get_ints("pads"))
+    return None
+
+
+def _pad_value(graph: Graph, node: Node) -> float | None:
+    if len(node.inputs) > 2 and node.inputs[2]:
+        array = graph.initializers.get(node.inputs[2])
+        if array is None or array.size != 1:
+            return None
+        return float(array.reshape(-1)[0])
+    if "value" in node.attrs:
+        return node.attrs.get_float("value")
+    return 0.0
+
+
+class FoldPadIntoConv(GraphPass):
+    """Merge ``Pad(x) -> Conv`` into the Conv's ``pads`` attribute."""
+
+    name = "fold-pad"
+
+    def apply(self, graph: Graph) -> int:
+        folded = 0
+        for pad_node in graph.nodes_by_type("Pad"):
+            if pad_node.attrs.get_str("mode", "constant") != "constant":
+                continue
+            if _pad_value(graph, pad_node) != 0.0:
+                continue
+            pads = _static_pads(graph, pad_node)
+            if pads is None or len(pads) != 8:
+                continue  # only rank-4 NCHW activations
+            begins, ends = pads[:4], pads[4:]
+            if any(begins[:2]) or any(ends[:2]):
+                continue  # padding batch/channel axes cannot fold into Conv
+            consumers = graph.consumers()
+            users = consumers.get(pad_node.outputs[0], [])
+            if len(users) != 1 or users[0].op_type != "Conv":
+                continue
+            conv = users[0]
+            if conv.inputs[0] != pad_node.outputs[0]:
+                continue  # pad output feeds the weights?! leave it alone
+            if conv.attrs.get_str("auto_pad", "NOTSET") not in ("NOTSET", ""):
+                continue
+            old = conv.attrs.get_ints("pads", (0, 0, 0, 0))
+            conv.attrs.set("pads", (
+                old[0] + begins[2], old[1] + begins[3],
+                old[2] + ends[2], old[3] + ends[3],
+            ))
+            conv.replace_input(pad_node.outputs[0], pad_node.inputs[0])
+            graph.remove_nodes([pad_node])
+            folded += 1
+        return folded

@@ -1,0 +1,73 @@
+"""Pass infrastructure: `GraphPass` base class and `PassManager` pipeline.
+
+Passes implement the paper's "apply simplifications to the computation
+graph". Each pass mutates a graph in place and reports how many rewrites it
+made; the manager runs passes in order, re-validating after each, and can
+iterate to a fixed point (a fold may expose a new fold).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+from repro.ir.graph import Graph
+
+
+class GraphPass(abc.ABC):
+    """One graph-to-graph rewrite."""
+
+    #: short identifier used in reports and CLI flags
+    name: str = "pass"
+
+    @abc.abstractmethod
+    def apply(self, graph: Graph) -> int:
+        """Rewrite ``graph`` in place; return the number of changes made."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+@dataclasses.dataclass(frozen=True)
+class PassReport:
+    """Rewrites made by each pass, in execution order."""
+
+    counts: tuple[tuple[str, int], ...]
+
+    @property
+    def total(self) -> int:
+        return sum(count for _name, count in self.counts)
+
+    def __str__(self) -> str:
+        body = ", ".join(f"{name}: {count}" for name, count in self.counts if count)
+        return f"PassReport({body or 'no changes'})"
+
+
+class PassManager:
+    """Runs a pipeline of passes, optionally to a fixed point."""
+
+    def __init__(self, passes: list[GraphPass], max_iterations: int = 5) -> None:
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        self.passes = list(passes)
+        self.max_iterations = max_iterations
+        self.last_report: PassReport | None = None
+
+    def run(self, graph: Graph) -> Graph:
+        """Apply the pipeline to a *copy* of ``graph`` and return it."""
+        working = graph.copy()
+        counts: list[tuple[str, int]] = []
+        for _ in range(self.max_iterations):
+            changed = 0
+            for graph_pass in self.passes:
+                count = graph_pass.apply(working)
+                counts.append((graph_pass.name, count))
+                changed += count
+                if count:
+                    working.validate()
+            if not changed:
+                break
+        working.prune_initializers()
+        working.validate()
+        self.last_report = PassReport(counts=tuple(counts))
+        return working

@@ -1,0 +1,125 @@
+"""Range observers and quantization parameter computation.
+
+Post-training quantization maps float tensors to 8-bit integers through an
+affine transform ``q = clamp(round(x / scale) + zero_point)``. Observers
+collect value ranges over calibration batches; ``QuantParams`` fixes the
+(scale, zero_point) pair for a tensor.
+
+Conventions (matching ONNX QLinearConv):
+  * activations: asymmetric uint8, range from observed min/max;
+  * weights: symmetric int8, per output channel, zero_point 0.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantParams:
+    """Affine quantization parameters for one tensor (per-tensor)."""
+
+    scale: float
+    zero_point: int
+    dtype: np.dtype = np.dtype(np.uint8)
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0 or not np.isfinite(self.scale):
+            raise QuantizationError(f"invalid scale {self.scale}")
+        info = np.iinfo(self.dtype)
+        if not info.min <= self.zero_point <= info.max:
+            raise QuantizationError(
+                f"zero point {self.zero_point} outside {self.dtype} range")
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        info = np.iinfo(self.dtype)
+        q = np.round(x / self.scale) + self.zero_point
+        return np.clip(q, info.min, info.max).astype(self.dtype)
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        return ((q.astype(np.int32) - self.zero_point)
+                * np.float32(self.scale)).astype(np.float32)
+
+
+def activation_params(low: float, high: float) -> QuantParams:
+    """Asymmetric uint8 parameters covering [low, high] (must include 0)."""
+    low = min(float(low), 0.0)
+    high = max(float(high), 0.0)
+    if high - low < 1e-6:  # degenerate/denormal range would underflow scale
+        high = low + 1e-6
+    scale = (high - low) / 255.0
+    zero_point = int(np.clip(np.round(-low / scale), 0, 255))
+    return QuantParams(scale=scale, zero_point=zero_point,
+                       dtype=np.dtype(np.uint8))
+
+
+def weight_params_per_channel(weight: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric int8 per-output-channel (scales, quantized weight).
+
+    Returns ``(scales, w_q)`` with ``scales`` shaped ``(out_channels,)`` and
+    ``w_q`` int8 with zero point 0.
+    """
+    if weight.ndim < 2:
+        raise QuantizationError(
+            f"per-channel weights need rank >= 2, got {weight.shape}")
+    out_channels = weight.shape[0]
+    flat = np.abs(weight.reshape(out_channels, -1))
+    max_abs = np.maximum(flat.max(axis=1), 1e-12)
+    scales = (max_abs / 127.0).astype(np.float32)
+    shaped = scales.reshape((-1,) + (1,) * (weight.ndim - 1))
+    w_q = np.clip(np.round(weight / shaped), -127, 127).astype(np.int8)
+    return scales, w_q
+
+
+class MinMaxObserver:
+    """Tracks the global min/max of every batch it sees."""
+
+    def __init__(self) -> None:
+        self.low = np.inf
+        self.high = -np.inf
+        self.count = 0
+
+    def observe(self, x: np.ndarray) -> None:
+        if x.size == 0:
+            return
+        self.low = min(self.low, float(x.min()))
+        self.high = max(self.high, float(x.max()))
+        self.count += 1
+
+    def params(self) -> QuantParams:
+        if self.count == 0:
+            raise QuantizationError("observer saw no data")
+        return activation_params(self.low, self.high)
+
+
+class PercentileObserver:
+    """Clips the range to percentiles, discarding outlier activations.
+
+    Retains per-batch percentile estimates and merges them by averaging —
+    an approximation that avoids storing full histograms.
+    """
+
+    def __init__(self, percentile: float = 99.9) -> None:
+        if not 50.0 < percentile <= 100.0:
+            raise QuantizationError(
+                f"percentile must be in (50, 100], got {percentile}")
+        self.percentile = percentile
+        self._lows: list[float] = []
+        self._highs: list[float] = []
+
+    def observe(self, x: np.ndarray) -> None:
+        if x.size == 0:
+            return
+        tail = 100.0 - self.percentile
+        self._lows.append(float(np.percentile(x, tail)))
+        self._highs.append(float(np.percentile(x, self.percentile)))
+
+    def params(self) -> QuantParams:
+        if not self._lows:
+            raise QuantizationError("observer saw no data")
+        return activation_params(
+            float(np.mean(self._lows)), float(np.mean(self._highs)))

@@ -1,0 +1,235 @@
+"""Post-training quantization: the QDQ graph transform.
+
+``quantize_graph`` converts every convolution in a calibrated graph to
+``QuantizeLinear -> QLinearConv -> DequantizeLinear`` islands, then removes
+redundant Dequantize/Quantize pairs between adjacent convolutions so chains
+of convs stay in the integer domain. Non-conv ops keep their float kernels —
+the standard mixed-precision deployment shape.
+
+Calibration runs the *optimised* float graph over user-supplied batches and
+records every value's range (min-max by default, percentile optionally).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.backends import get_backend
+from repro.config import get_default_config
+from repro.errors import QuantizationError
+from repro.ir.graph import Graph
+from repro.ir.node import Node
+from repro.quant.observers import (
+    MinMaxObserver,
+    PercentileObserver,
+    QuantParams,
+    weight_params_per_channel,
+)
+from repro.runtime.executor import Executor
+
+
+def calibrate(
+    graph: Graph,
+    batches: Iterable[Mapping[str, np.ndarray]],
+    observer: str = "minmax",
+    percentile: float = 99.9,
+) -> dict[str, QuantParams]:
+    """Observe every value's range over ``batches``.
+
+    Args:
+        graph: the float graph (already optimised, since node fusion changes
+            which values exist).
+        batches: iterable of feed dicts.
+        observer: ``"minmax"`` or ``"percentile"``.
+        percentile: clip percentile for the percentile observer.
+
+    Returns:
+        ``{value_name: QuantParams}`` for every float activation.
+    """
+    if observer not in ("minmax", "percentile"):
+        raise QuantizationError(f"unknown observer {observer!r}")
+    executor = Executor(graph, get_backend("orpheus"), get_default_config())
+    observers: dict[str, object] = {}
+    saw_any = False
+    for feeds in batches:
+        saw_any = True
+        values, _ = executor.run(feeds, keep_values=True)
+        for name, array in values.items():
+            if name in graph.initializers:
+                continue
+            if not np.issubdtype(array.dtype, np.floating):
+                continue
+            tracker = observers.get(name)
+            if tracker is None:
+                tracker = (MinMaxObserver() if observer == "minmax"
+                           else PercentileObserver(percentile))
+                observers[name] = tracker
+            tracker.observe(array)  # type: ignore[union-attr]
+    if not saw_any:
+        raise QuantizationError("calibration needs at least one batch")
+    return {name: tracker.params()  # type: ignore[union-attr]
+            for name, tracker in observers.items()}
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantizationReport:
+    """What the transform did."""
+
+    converted_convs: int
+    skipped_convs: int
+    removed_roundtrips: int
+
+    def __str__(self) -> str:
+        return (f"quantized {self.converted_convs} convs "
+                f"({self.skipped_convs} skipped), removed "
+                f"{self.removed_roundtrips} DQ/Q round-trips")
+
+
+def quantize_graph(
+    graph: Graph,
+    ranges: Mapping[str, QuantParams],
+) -> tuple[Graph, QuantizationReport]:
+    """Convert calibrated convolutions to QLinearConv islands.
+
+    Convs whose input or output has no calibration record, or with grouped
+    (non-depthwise) weights, are left in float.
+    """
+    out = graph.copy()
+    converted = 0
+    skipped = 0
+    counter = 0
+
+    def fresh(hint: str) -> str:
+        nonlocal counter
+        counter += 1
+        return f"q_{hint}_{counter}"
+
+    new_nodes: list[Node] = []
+    for node in out.toposort():
+        if node.op_type != "Conv":
+            new_nodes.append(node)
+            continue
+        x_name = node.inputs[0]
+        y_name = node.outputs[0]
+        weight = out.initializers.get(node.inputs[1])
+        group = node.attrs.get_int("group", 1)
+        depthwise = (weight is not None and group == weight.shape[0]
+                     and weight.shape[1] == 1)
+        if (weight is None or x_name not in ranges or y_name not in ranges
+                or (group != 1 and not depthwise)):
+            skipped += 1
+            new_nodes.append(node)
+            continue
+        x_params = ranges[x_name]
+        y_params = ranges[y_name]
+        w_scales, w_q = weight_params_per_channel(weight)
+
+        names = _QNames(fresh)
+        out.initializers[names.x_scale] = np.asarray(
+            x_params.scale, dtype=np.float32)
+        out.initializers[names.x_zp] = np.asarray(
+            x_params.zero_point, dtype=np.uint8)
+        out.initializers[names.w] = w_q
+        out.initializers[names.w_scale] = w_scales
+        out.initializers[names.w_zp] = np.zeros(1, dtype=np.int8)
+        out.initializers[names.y_scale] = np.asarray(
+            y_params.scale, dtype=np.float32)
+        out.initializers[names.y_zp] = np.asarray(
+            y_params.zero_point, dtype=np.uint8)
+
+        q_inputs = [x_name, names.x_scale, names.x_zp,
+                    names.w, names.w_scale, names.w_zp,
+                    names.y_scale, names.y_zp]
+        if len(node.inputs) > 2 and node.inputs[2]:
+            bias = out.initializers.get(node.inputs[2])
+            if bias is None:
+                skipped += 1
+                new_nodes.append(node)
+                continue
+            bias_q = np.round(
+                bias.astype(np.float64)
+                / (x_params.scale * w_scales.astype(np.float64))
+            ).astype(np.int32)
+            out.initializers[names.bias] = bias_q
+            q_inputs.append(names.bias)
+
+        x_q = fresh("xq")
+        y_q = fresh("yq")
+        new_nodes.append(Node(
+            "QuantizeLinear", [x_name, names.x_scale, names.x_zp], [x_q],
+            name=fresh("quant")))
+        q_inputs[0] = x_q
+        new_nodes.append(Node(
+            "QLinearConv", q_inputs, [y_q],
+            attrs=node.attrs.as_dict(), name=f"{node.name}_q"))
+        new_nodes.append(Node(
+            "DequantizeLinear", [y_q, names.y_scale, names.y_zp], [y_name],
+            name=fresh("dequant")))
+        converted += 1
+    out.nodes = new_nodes
+    removed = _remove_roundtrips(out)
+    out.prune_initializers()
+    out.validate()
+    return out, QuantizationReport(
+        converted_convs=converted, skipped_convs=skipped,
+        removed_roundtrips=removed)
+
+
+class _QNames:
+    """Fresh initializer names for one quantized conv."""
+
+    def __init__(self, fresh) -> None:
+        self.x_scale = fresh("x_scale")
+        self.x_zp = fresh("x_zp")
+        self.w = fresh("w_int8")
+        self.w_scale = fresh("w_scale")
+        self.w_zp = fresh("w_zp")
+        self.y_scale = fresh("y_scale")
+        self.y_zp = fresh("y_zp")
+        self.bias = fresh("bias_int32")
+
+
+def _remove_roundtrips(graph: Graph) -> int:
+    """Collapse ``DequantizeLinear -> QuantizeLinear`` with equal params.
+
+    After conversion, a conv feeding another conv produces
+    ``... -> DQ(y_scale) -> Q(x_scale) -> ...`` where both sides quote the
+    same calibrated range; the pair is the identity on uint8 and is removed,
+    keeping the chain in the integer domain.
+    """
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        producers = graph.producers()
+        consumers = graph.consumers()
+        for node in graph.nodes_by_type("QuantizeLinear"):
+            upstream = producers.get(node.inputs[0])
+            if upstream is None or upstream.op_type != "DequantizeLinear":
+                continue
+            if len(consumers.get(upstream.outputs[0], ())) != 1:
+                continue
+            if upstream.outputs[0] in graph.output_names:
+                continue
+            dq_scale = graph.initializers.get(upstream.inputs[1])
+            dq_zp = graph.initializers.get(upstream.inputs[2])
+            q_scale = graph.initializers.get(node.inputs[1])
+            q_zp = graph.initializers.get(node.inputs[2])
+            if any(v is None for v in (dq_scale, dq_zp, q_scale, q_zp)):
+                continue
+            if not (np.allclose(dq_scale, q_scale)
+                    and np.array_equal(
+                        np.asarray(dq_zp).reshape(-1),
+                        np.asarray(q_zp).reshape(-1))):
+                continue
+            source = upstream.inputs[0]
+            for consumer in graph.nodes:
+                consumer.replace_input(node.outputs[0], source)
+            graph.remove_nodes([upstream, node])
+            removed += 1
+            changed = True
+            break
+    return removed

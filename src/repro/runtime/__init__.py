@@ -1,0 +1,22 @@
+"""Runtime: session, executor, memory planner, profiler, thread pool."""
+
+from repro.runtime.executor import Executor, NodeTiming, PreparedNode
+from repro.runtime.memory_planner import MemoryPlan, footprint_report, plan_memory
+from repro.parallel import chunk_ranges, parallel_for
+from repro.runtime.profiler import LayerProfile, ProfileResult, collate
+from repro.runtime.session import InferenceSession
+
+__all__ = [
+    "Executor",
+    "InferenceSession",
+    "LayerProfile",
+    "MemoryPlan",
+    "NodeTiming",
+    "PreparedNode",
+    "ProfileResult",
+    "chunk_ranges",
+    "collate",
+    "footprint_report",
+    "parallel_for",
+    "plan_memory",
+]

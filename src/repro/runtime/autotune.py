@@ -1,0 +1,134 @@
+"""Per-layer kernel autotuning.
+
+Measures every candidate implementation on each layer's actual shapes and
+returns per-node overrides naming the winner — the mechanism behind TVM's
+AutoTVM (which the TVM framework simulation uses) and, in Orpheus itself,
+the "infrastructure to run multiple inference experiments ... evaluating
+individual layers" from the paper's contribution list.
+
+Layers with identical signatures (op type, attributes, input shapes) share
+one measurement, so tuning a deep network costs one sweep per *unique*
+layer shape.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.ir.graph import Graph
+from repro.ir.node import Node
+from repro.ir.shape_inference import infer_shapes
+from repro.kernels.context import ExecutionContext
+from repro.kernels.registry import REGISTRY, KernelRegistry
+from repro.tensor.dtype import DType
+
+
+def _signature(node: Node, shapes: Sequence[tuple[int, ...]]) -> tuple:
+    attrs = []
+    for key in sorted(node.attrs.keys()):
+        value = node.attrs.as_dict()[key]
+        if isinstance(value, np.ndarray):
+            value = (value.shape, value.tobytes())
+        attrs.append((key, value))
+    return (node.op_type, tuple(attrs), tuple(shapes))
+
+
+def _random_inputs(
+    node: Node,
+    graph: Graph,
+    value_types: Mapping[str, tuple[tuple[int, ...], DType]],
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    inputs = []
+    for name in node.inputs:
+        if not name:
+            inputs.append(np.empty(0, dtype=np.float32))
+            continue
+        if name in graph.initializers:
+            inputs.append(graph.initializers[name])
+            continue
+        shape, dtype = value_types[name]
+        concrete = tuple(1 if dim == -1 else dim for dim in shape)
+        inputs.append(rng.standard_normal(concrete).astype(dtype.np))
+    return inputs
+
+
+def autotune(
+    graph: Graph,
+    candidates: Mapping[str, Sequence[str]],
+    threads: int = 1,
+    repeats: int = 2,
+    registry: KernelRegistry = REGISTRY,
+    seed: int = 0,
+) -> dict[str, str]:
+    """Pick the fastest implementation per node by measurement.
+
+    Args:
+        graph: the (already simplified) graph to tune.
+        candidates: op type -> implementation names to race. Ops not listed
+            are left to the backend's static policy.
+        threads: thread budget used during measurement (match deployment).
+        repeats: timed runs per candidate (min is kept).
+        registry: kernel registry to resolve names against.
+        seed: RNG seed for synthetic activations.
+
+    Returns:
+        ``{node_name: winning_impl_name}`` suitable for
+        :meth:`repro.backends.Backend.with_overrides`.
+    """
+    value_types = infer_shapes(graph)
+    ctx = ExecutionContext(threads=threads)
+    rng = np.random.default_rng(seed)
+    cache: dict[tuple, str] = {}
+    overrides: dict[str, str] = {}
+    for node in graph.toposort():
+        names = candidates.get(node.op_type)
+        if not names:
+            continue
+        shapes = [value_types[name][0] if name else () for name in node.inputs]
+        key = _signature(node, shapes)
+        winner = cache.get(key)
+        if winner is None:
+            winner = _race(node, names, shapes, graph, value_types, ctx,
+                           rng, repeats, registry)
+            if winner is None:
+                continue  # no candidate applicable; backend default applies
+            cache[key] = winner
+        overrides[node.name] = winner
+    return overrides
+
+
+def _race(
+    node: Node,
+    names: Sequence[str],
+    shapes: Sequence[tuple[int, ...]],
+    graph: Graph,
+    value_types: Mapping[str, tuple[tuple[int, ...], DType]],
+    ctx: ExecutionContext,
+    rng: np.random.Generator,
+    repeats: int,
+    registry: KernelRegistry,
+) -> str | None:
+    inputs = _random_inputs(node, graph, value_types, rng)
+    best_name = None
+    best_time = float("inf")
+    for name in names:
+        try:
+            impl = registry.get(node.op_type, name)
+        except Exception:
+            continue
+        if not impl.supports(node, shapes):
+            continue
+        impl.fn(inputs, node, ctx)  # warmup / correctness smoke
+        elapsed = float("inf")
+        for _ in range(max(repeats, 1)):
+            started = time.perf_counter()
+            impl.fn(inputs, node, ctx)
+            elapsed = min(elapsed, time.perf_counter() - started)
+        if elapsed < best_time:
+            best_time = elapsed
+            best_name = name
+    return best_name

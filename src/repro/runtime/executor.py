@@ -1,0 +1,163 @@
+"""Graph executor: runs a prepared schedule node by node."""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.backends.backend import Backend
+from repro.config import RuntimeConfig
+from repro.errors import ExecutionError
+from repro.ir.graph import Graph
+from repro.ir.node import Node
+from repro.ir.shape_inference import infer_shapes
+from repro.kernels.context import ExecutionContext
+from repro.kernels.registry import KernelImpl
+from repro.ops import validate_graph_nodes
+from repro.runtime.memory_planner import MemoryPlan, plan_memory
+
+
+@dataclasses.dataclass(frozen=True)
+class PreparedNode:
+    """One schedule entry: a node bound to its chosen kernel."""
+
+    index: int
+    node: Node
+    impl: KernelImpl
+
+
+@dataclasses.dataclass
+class NodeTiming:
+    """Wall-clock seconds spent in one node during one run."""
+
+    node: Node
+    impl: KernelImpl
+    seconds: float
+
+
+class Executor:
+    """Binds a graph to a backend and executes it.
+
+    Preparation (done once, in ``__init__``) validates the graph, infers all
+    value types, fixes the schedule, selects a kernel per node, and builds
+    the memory plan. ``run`` then only moves data.
+    """
+
+    def __init__(self, graph: Graph, backend: Backend, config: RuntimeConfig) -> None:
+        graph.validate()
+        validate_graph_nodes(graph.nodes)
+        self.graph = graph
+        self.backend = backend
+        self.config = config
+        self.value_types = infer_shapes(graph)
+        self.schedule_nodes = graph.toposort()
+        self.plan: MemoryPlan = plan_memory(graph, self.value_types, self.schedule_nodes)
+        self.schedule: list[PreparedNode] = []
+        for index, node in enumerate(self.schedule_nodes):
+            shapes = [
+                self.value_types[name][0] if name else ()
+                for name in node.inputs
+            ]
+            impl = backend.select(node, shapes)
+            self.schedule.append(PreparedNode(index=index, node=node, impl=impl))
+        self.context = ExecutionContext(
+            threads=config.threads, gemm=backend.gemm_fn)
+
+    # -- introspection ---------------------------------------------------------
+
+    def kernel_plan(self) -> dict[str, str]:
+        """Map node name -> chosen implementation name."""
+        return {entry.node.name: entry.impl.name for entry in self.schedule}
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(
+        self,
+        feeds: Mapping[str, np.ndarray],
+        collect_timings: bool = False,
+        keep_values: bool = False,
+    ) -> tuple[dict[str, np.ndarray], list[NodeTiming]]:
+        """Execute the graph on ``feeds``.
+
+        Returns the requested graph outputs and (optionally) per-node wall
+        times. Intermediate values are dropped at their last use per the
+        memory plan, bounding the resident set — unless ``keep_values`` is
+        set (calibration/debugging), in which case every intermediate is
+        retained and returned alongside the outputs.
+        """
+        values = self._bind_inputs(feeds)
+        timings: list[NodeTiming] = []
+        release = ({} if keep_values or not self.config.memory_planning
+                   else self.plan.release_after)
+        for entry in self.schedule:
+            node = entry.node
+            inputs = [values[name] if name else np.empty(0) for name in node.inputs]
+            started = time.perf_counter() if collect_timings else 0.0
+            try:
+                outputs = entry.impl.fn(inputs, node, self.context)
+            except Exception as exc:
+                raise ExecutionError(
+                    f"kernel {entry.impl.key} failed on node {node.name!r}: {exc}"
+                ) from exc
+            if collect_timings:
+                timings.append(NodeTiming(
+                    node=node, impl=entry.impl,
+                    seconds=time.perf_counter() - started))
+            if len(outputs) != len(node.outputs):
+                raise ExecutionError(
+                    f"kernel {entry.impl.key} returned {len(outputs)} outputs "
+                    f"for node {node.name!r} declaring {len(node.outputs)}")
+            for name, array in zip(node.outputs, outputs):
+                if self.config.validate_kernels:
+                    self._validate_output(node, entry.impl, name, array)
+                values[name] = array
+            for dead in release.get(entry.index, ()):
+                values.pop(dead, None)
+        if keep_values:
+            return values, timings
+        results = {name: values[name] for name in self.graph.output_names}
+        return results, timings
+
+    # -- internals -------------------------------------------------------------------
+
+    def _bind_inputs(self, feeds: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
+        values: dict[str, np.ndarray] = dict(self.graph.initializers)
+        for info in self.graph.inputs:
+            if info.name not in feeds:
+                raise ExecutionError(f"missing graph input {info.name!r}")
+            array = np.ascontiguousarray(feeds[info.name])
+            expected = info.shape
+            if len(expected) != array.ndim or any(
+                dim != -1 and dim != actual
+                for dim, actual in zip(expected, array.shape)
+            ):
+                raise ExecutionError(
+                    f"input {info.name!r}: expected shape {expected}, "
+                    f"got {array.shape}")
+            if array.dtype != info.dtype.np:
+                array = array.astype(info.dtype.np)
+            values[info.name] = array
+        extra = set(feeds) - set(self.graph.input_names)
+        if extra:
+            raise ExecutionError(f"unknown graph inputs fed: {sorted(extra)}")
+        return values
+
+    def _validate_output(
+        self, node: Node, impl: KernelImpl, name: str, array: np.ndarray
+    ) -> None:
+        expected_shape, expected_dtype = self.value_types[name]
+        concrete = tuple(
+            actual if dim == -1 else dim
+            for dim, actual in zip(expected_shape, array.shape)
+        )
+        if len(expected_shape) != array.ndim or concrete != array.shape:
+            raise ExecutionError(
+                f"kernel {impl.key}: output {name!r} has shape {array.shape}, "
+                f"inference said {expected_shape}")
+        if expected_dtype.np != array.dtype:
+            raise ExecutionError(
+                f"kernel {impl.key}: output {name!r} has dtype {array.dtype}, "
+                f"inference said {expected_dtype.value}")

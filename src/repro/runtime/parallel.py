@@ -1,0 +1,10 @@
+"""Compatibility shim: the thread-pool substrate lives in `repro.parallel`.
+
+It sits at the package root because the kernel layer depends on it and the
+runtime package imports the kernel layer (via the executor) — a top-level
+home keeps the import graph acyclic.
+"""
+
+from repro.parallel import chunk_ranges, parallel_for
+
+__all__ = ["chunk_ranges", "parallel_for"]

@@ -1,0 +1,136 @@
+"""`InferenceSession`: the framework's front door.
+
+    >>> from repro import InferenceSession, models
+    >>> graph = models.build("resnet18")
+    >>> sess = InferenceSession(graph, backend="orpheus", threads=1)
+    >>> logits = sess.run({"input": image})["output"]
+
+A session owns a prepared executor: the graph is validated, optionally
+simplified by the pass pipeline, shapes are inferred, kernels are selected,
+and the memory plan is fixed. Running is then pure data movement.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.backends.backend import Backend, get_backend
+from repro.config import RuntimeConfig, get_default_config
+from repro.ir.graph import Graph
+from repro.runtime.executor import Executor
+from repro.runtime.memory_planner import MemoryPlan
+from repro.runtime.profiler import ProfileResult, collate
+from repro.tensor.tensor import Tensor
+
+Feed = Mapping[str, "np.ndarray | Tensor"]
+
+
+class InferenceSession:
+    """A prepared, executable model."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        backend: str | Backend = "orpheus",
+        threads: int | None = None,
+        optimize: bool | None = None,
+        config: RuntimeConfig | None = None,
+    ) -> None:
+        """Prepare ``graph`` for execution.
+
+        Args:
+            graph: the model; not mutated (the session optimises a copy).
+            backend: backend name or instance selecting kernel implementations.
+            threads: overrides the config's thread budget.
+            optimize: overrides whether the simplification pipeline runs.
+            config: base runtime configuration (defaults to the process-wide
+                default).
+        """
+        base = config or get_default_config()
+        if threads is not None:
+            base = base.replace(threads=threads)
+        if optimize is not None:
+            base = base.replace(optimize=optimize)
+        if isinstance(backend, str):
+            backend = get_backend(backend)
+        base = base.replace(backend=backend.name)
+        self.config = base
+        self.backend = backend
+        working = graph.copy()
+        if base.optimize:
+            # Imported lazily: passes import ops/kernels, which import ir.
+            from repro.passes import default_pipeline
+            working = default_pipeline().run(working)
+        self.graph = working
+        self._executor = Executor(working, backend, base)
+
+    # -- metadata ----------------------------------------------------------------
+
+    @property
+    def input_names(self) -> list[str]:
+        return self.graph.input_names
+
+    @property
+    def output_names(self) -> list[str]:
+        return self.graph.output_names
+
+    @property
+    def memory_plan(self) -> MemoryPlan:
+        return self._executor.plan
+
+    def kernel_plan(self) -> dict[str, str]:
+        """Which implementation was selected for every node."""
+        return self._executor.kernel_plan()
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, feeds: Feed) -> dict[str, np.ndarray]:
+        """Execute once; returns ``{output_name: array}``."""
+        outputs, _ = self._executor.run(self._unwrap(feeds))
+        return outputs
+
+    def run_tensors(self, feeds: Feed) -> dict[str, Tensor]:
+        """Like :meth:`run` but returns :class:`~repro.tensor.Tensor`s."""
+        return {
+            name: Tensor(array, name=name)
+            for name, array in self.run(feeds).items()
+        }
+
+    def time(
+        self, feeds: Feed, repeats: int = 10, warmup: int = 2
+    ) -> list[float]:
+        """End-to-end wall times (seconds) for ``repeats`` runs after warmup."""
+        raw = self._unwrap(feeds)
+        for _ in range(warmup):
+            self._executor.run(raw)
+        times = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            self._executor.run(raw)
+            times.append(time.perf_counter() - started)
+        return times
+
+    def profile(
+        self, feeds: Feed, repeats: int = 5, warmup: int = 1
+    ) -> ProfileResult:
+        """Per-layer timing statistics over ``repeats`` instrumented runs."""
+        raw = self._unwrap(feeds)
+        for _ in range(warmup):
+            self._executor.run(raw)
+        runs = []
+        for _ in range(repeats):
+            _, timings = self._executor.run(raw, collect_timings=True)
+            runs.append(timings)
+        return collate(runs)
+
+    # -- internals -----------------------------------------------------------------------
+
+    @staticmethod
+    def _unwrap(feeds: Feed) -> dict[str, np.ndarray]:
+        return {
+            name: value.data if isinstance(value, Tensor) else np.asarray(value)
+            for name, value in feeds.items()
+        }

@@ -1,0 +1,19 @@
+"""Tensor layer: the `Tensor` type, dtypes, and layout utilities."""
+
+from repro.tensor.dtype import DType
+from repro.tensor.layout import (
+    convert_activation,
+    convert_weight,
+    nchw_to_nhwc,
+    nhwc_to_nchw,
+)
+from repro.tensor.tensor import Tensor
+
+__all__ = [
+    "DType",
+    "Tensor",
+    "convert_activation",
+    "convert_weight",
+    "nchw_to_nhwc",
+    "nhwc_to_nchw",
+]

@@ -1,0 +1,53 @@
+"""Tensor layout utilities.
+
+The framework's canonical activation layout is NCHW (as in ONNX and the
+paper's C++ implementation). Interop helpers convert to/from NHWC, and
+weight layouts OIHW <-> HWIO, for users importing data from NHWC-native
+frameworks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_LAYOUTS = ("NCHW", "NHWC")
+_WEIGHT_LAYOUTS = ("OIHW", "HWIO")
+
+
+def _axes(src: str, dst: str) -> tuple[int, ...]:
+    return tuple(src.index(axis) for axis in dst)
+
+
+def convert_activation(data: np.ndarray, src: str, dst: str) -> np.ndarray:
+    """Convert a rank-4 activation tensor between NCHW and NHWC.
+
+    Returns the input unchanged (no copy) when ``src == dst``.
+    """
+    if src not in _LAYOUTS or dst not in _LAYOUTS:
+        raise ValueError(f"unknown activation layout: {src!r} -> {dst!r}")
+    if data.ndim != 4:
+        raise ValueError(f"activation layout conversion needs rank 4, got {data.ndim}")
+    if src == dst:
+        return data
+    return np.ascontiguousarray(data.transpose(_axes(src, dst)))
+
+
+def convert_weight(data: np.ndarray, src: str, dst: str) -> np.ndarray:
+    """Convert a rank-4 convolution weight between OIHW and HWIO."""
+    if src not in _WEIGHT_LAYOUTS or dst not in _WEIGHT_LAYOUTS:
+        raise ValueError(f"unknown weight layout: {src!r} -> {dst!r}")
+    if data.ndim != 4:
+        raise ValueError(f"weight layout conversion needs rank 4, got {data.ndim}")
+    if src == dst:
+        return data
+    return np.ascontiguousarray(data.transpose(_axes(src, dst)))
+
+
+def nchw_to_nhwc(data: np.ndarray) -> np.ndarray:
+    """Shorthand for :func:`convert_activation` NCHW -> NHWC."""
+    return convert_activation(data, "NCHW", "NHWC")
+
+
+def nhwc_to_nchw(data: np.ndarray) -> np.ndarray:
+    """Shorthand for :func:`convert_activation` NHWC -> NCHW."""
+    return convert_activation(data, "NHWC", "NCHW")

@@ -1,0 +1,142 @@
+"""The ``Tensor`` type used at the public API boundary.
+
+Internally kernels operate on raw ``numpy.ndarray``s for speed; ``Tensor``
+wraps one with a name and a framework :class:`~repro.tensor.dtype.DType`, and
+is what users pass to / receive from an ``InferenceSession``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.tensor.dtype import DType
+
+
+class Tensor:
+    """A named, typed, numpy-backed tensor.
+
+    Construction normalises the backing array to the requested dtype and
+    keeps it C-contiguous, which is what every kernel in the framework
+    assumes.
+    """
+
+    __slots__ = ("_data", "_name")
+
+    def __init__(
+        self,
+        data: np.ndarray | Sequence[float] | float,
+        dtype: DType | None = None,
+        name: str = "",
+    ) -> None:
+        array = np.asarray(data)
+        if dtype is not None:
+            array = array.astype(dtype.np, copy=False)
+        else:
+            DType.from_numpy(array.dtype)  # validate it is a supported dtype
+        self._data = np.ascontiguousarray(array)
+        self._name = name
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def data(self) -> np.ndarray:
+        """The backing numpy array (shared, not copied)."""
+        return self._data
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._data.shape
+
+    @property
+    def rank(self) -> int:
+        return self._data.ndim
+
+    @property
+    def size(self) -> int:
+        return int(self._data.size)
+
+    @property
+    def dtype(self) -> DType:
+        return DType.from_numpy(self._data.dtype)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._data.nbytes)
+
+    # -- conversions --------------------------------------------------------
+
+    def numpy(self) -> np.ndarray:
+        """Return the backing array (alias of :attr:`data`)."""
+        return self._data
+
+    def astype(self, dtype: DType) -> "Tensor":
+        """Return a copy converted to ``dtype``."""
+        return Tensor(self._data.astype(dtype.np), name=self._name)
+
+    def with_name(self, name: str) -> "Tensor":
+        """Return a view of this tensor under a different name."""
+        out = Tensor.__new__(Tensor)
+        out._data = self._data
+        out._name = name
+        return out
+
+    def copy(self) -> "Tensor":
+        return Tensor(self._data.copy(), name=self._name)
+
+    # -- factories ----------------------------------------------------------
+
+    @classmethod
+    def zeros(
+        cls, shape: Sequence[int], dtype: DType = DType.FLOAT32, name: str = ""
+    ) -> "Tensor":
+        return cls(np.zeros(tuple(shape), dtype=dtype.np), name=name)
+
+    @classmethod
+    def ones(
+        cls, shape: Sequence[int], dtype: DType = DType.FLOAT32, name: str = ""
+    ) -> "Tensor":
+        return cls(np.ones(tuple(shape), dtype=dtype.np), name=name)
+
+    @classmethod
+    def random(
+        cls,
+        shape: Sequence[int],
+        dtype: DType = DType.FLOAT32,
+        name: str = "",
+        seed: int = 0,
+        scale: float = 1.0,
+    ) -> "Tensor":
+        """A reproducible standard-normal tensor (for test inputs/weights)."""
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal(tuple(shape)) * scale
+        return cls(data.astype(dtype.np), name=name)
+
+    # -- comparisons --------------------------------------------------------
+
+    def allclose(self, other: "Tensor", rtol: float = 1e-5, atol: float = 1e-6) -> bool:
+        """Elementwise closeness against another tensor of the same shape."""
+        return self.shape == other.shape and bool(
+            np.allclose(self._data, other._data, rtol=rtol, atol=atol)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tensor):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and self.dtype == other.dtype
+            and bool(np.array_equal(self._data, other._data))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return f"Tensor({label} shape={self.shape}, dtype={self.dtype.value})"

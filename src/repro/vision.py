@@ -1,0 +1,118 @@
+"""Image preprocessing for edge deployment.
+
+The part of "deploying deep learning applications like image classification"
+that sits in front of the network: resize, crop, normalise, layout. Pure
+numpy, NHWC uint8 in (the camera/decoder layout), NCHW float32 out (the
+runtime layout). ``preprocess_for`` applies each zoo model's canonical
+pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import zoo
+
+#: Standard ImageNet statistics (RGB, 0-1 range).
+IMAGENET_MEAN = np.array([0.485, 0.456, 0.406], dtype=np.float32)
+IMAGENET_STD = np.array([0.229, 0.224, 0.225], dtype=np.float32)
+#: Inception-family models normalise to [-1, 1] instead.
+INCEPTION_MEAN = np.array([0.5, 0.5, 0.5], dtype=np.float32)
+INCEPTION_STD = np.array([0.5, 0.5, 0.5], dtype=np.float32)
+
+
+def _require_hwc(image: np.ndarray) -> None:
+    if image.ndim != 3 or image.shape[2] not in (1, 3):
+        raise ValueError(
+            f"expected an HWC image with 1 or 3 channels, got {image.shape}")
+
+
+def resize_nearest(image: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Nearest-neighbour resize of an HWC image."""
+    _require_hwc(image)
+    src_h, src_w = image.shape[:2]
+    rows = np.minimum((np.arange(height) * (src_h / height)).astype(np.int64),
+                      src_h - 1)
+    cols = np.minimum((np.arange(width) * (src_w / width)).astype(np.int64),
+                      src_w - 1)
+    return image[rows][:, cols]
+
+
+def resize_bilinear(image: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Bilinear resize of an HWC image (align_corners=False convention)."""
+    _require_hwc(image)
+    src_h, src_w = image.shape[:2]
+    data = image.astype(np.float32)
+    # Half-pixel-centre sampling positions.
+    ys = np.clip((np.arange(height) + 0.5) * (src_h / height) - 0.5,
+                 0, src_h - 1)
+    xs = np.clip((np.arange(width) + 0.5) * (src_w / width) - 0.5,
+                 0, src_w - 1)
+    y0 = np.floor(ys).astype(np.int64)
+    x0 = np.floor(xs).astype(np.int64)
+    y1 = np.minimum(y0 + 1, src_h - 1)
+    x1 = np.minimum(x0 + 1, src_w - 1)
+    wy = (ys - y0).astype(np.float32)[:, None, None]
+    wx = (xs - x0).astype(np.float32)[None, :, None]
+    top = data[y0][:, x0] * (1 - wx) + data[y0][:, x1] * wx
+    bottom = data[y1][:, x0] * (1 - wx) + data[y1][:, x1] * wx
+    return top * (1 - wy) + bottom * wy
+
+
+def center_crop(image: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Crop the central ``height x width`` window of an HWC image."""
+    _require_hwc(image)
+    src_h, src_w = image.shape[:2]
+    if height > src_h or width > src_w:
+        raise ValueError(
+            f"crop {height}x{width} larger than image {src_h}x{src_w}")
+    top = (src_h - height) // 2
+    left = (src_w - width) // 2
+    return image[top:top + height, left:left + width]
+
+
+def normalize(image: np.ndarray, mean: np.ndarray = IMAGENET_MEAN,
+              std: np.ndarray = IMAGENET_STD) -> np.ndarray:
+    """uint8/float HWC image -> float32 HWC, scaled to [0,1] then normalised."""
+    _require_hwc(image)
+    data = image.astype(np.float32)
+    if image.dtype == np.uint8:
+        data = data / 255.0
+    return (data - mean.reshape(1, 1, -1)) / std.reshape(1, 1, -1)
+
+
+def to_nchw(image: np.ndarray) -> np.ndarray:
+    """HWC image (or batch of HWC) -> NCHW float32 batch."""
+    if image.ndim == 3:
+        image = image[np.newaxis]
+    if image.ndim != 4:
+        raise ValueError(f"expected HWC or NHWC, got shape {image.shape}")
+    return np.ascontiguousarray(image.transpose(0, 3, 1, 2)).astype(
+        np.float32, copy=False)
+
+
+def preprocess_for(model_name: str, image: np.ndarray) -> np.ndarray:
+    """The canonical preprocessing pipeline for a zoo model.
+
+    Resize the short side ~1.14x the target (the classic 256-for-224 ratio),
+    centre-crop to the model's input resolution, normalise with the family's
+    statistics, and emit an NCHW float32 batch of one.
+    """
+    entry = zoo.get_entry(model_name)
+    size = entry.image_size
+    _require_hwc(image)
+    # To float [0,1] *before* resizing, so normalisation sees one scale.
+    data = image.astype(np.float32)
+    if image.dtype == np.uint8:
+        data = data / 255.0
+    src_h, src_w = data.shape[:2]
+    scale = (size * 8 // 7) / min(src_h, src_w)
+    resized = resize_bilinear(
+        data, max(int(round(src_h * scale)), size),
+        max(int(round(src_w * scale)), size))
+    cropped = center_crop(resized, size, size)
+    if model_name == "inception-v3":
+        normalised = normalize(cropped, INCEPTION_MEAN, INCEPTION_STD)
+    else:
+        normalised = normalize(cropped)
+    return to_nchw(normalised)

@@ -1,0 +1,94 @@
+"""The backend conformance kit — and every built-in backend passing it."""
+
+import numpy as np
+import pytest
+
+from repro.backends import Backend, list_backends
+from repro.kernels.registry import REGISTRY, KernelImpl, KernelRegistry
+from repro.testing import (
+    STANDARD_CASES,
+    ConformanceCase,
+    check_backend,
+)
+
+
+class TestBuiltinBackendsConform:
+    @pytest.mark.parametrize(
+        "backend", list_backends(), ids=lambda b: b.name)
+    def test_backend_passes_battery(self, backend):
+        report = check_backend(backend)
+        assert report.ok, report.summary()
+
+    def test_battery_covers_the_hard_geometries(self):
+        names = {case.name for case in STANDARD_CASES}
+        for required in ("conv-stride2", "conv-dilated", "conv-asym-pads",
+                         "conv-depthwise", "conv-grouped", "maxpool-ceil",
+                         "avgpool-samepad", "gemm-alphabeta"):
+            assert required in names
+
+
+class TestKitCatchesBadBackends:
+    def _broken_backend(self, fn) -> Backend:
+        registry = KernelRegistry()
+        # Copy real kernels, then override Conv with the broken one.
+        for op in REGISTRY.op_types():
+            for impl in REGISTRY.implementations(op):
+                registry.register(impl)
+        registry.register(KernelImpl(
+            op_type="Conv", name="broken", fn=fn, priority=1000))
+        return Backend(name="broken-test", registry=registry,
+                       preferences={"Conv": ("broken",)})
+
+    def test_wrong_values_detected(self):
+        def off_by_scale(inputs, node, ctx):
+            out = REGISTRY.get("Conv", "im2col").fn(inputs, node, ctx)
+            return [out[0] * 1.5]
+
+        report = check_backend(self._broken_backend(off_by_scale))
+        assert not report.ok
+        assert any(f.case.startswith("conv") for f in report.failures)
+
+    def test_wrong_shape_detected(self):
+        def wrong_shape(inputs, node, ctx):
+            out = REGISTRY.get("Conv", "im2col").fn(inputs, node, ctx)
+            return [out[0][:, :, :-1, :]]
+
+        report = check_backend(self._broken_backend(wrong_shape))
+        assert any("shape" in f.message for f in report.failures)
+
+    def test_crash_detected_not_propagated(self):
+        def crash(inputs, node, ctx):
+            raise RuntimeError("kernel exploded")
+
+        report = check_backend(self._broken_backend(crash))
+        assert not report.ok
+        assert any("kernel exploded" in f.message for f in report.failures)
+
+    def test_summary_names_failures(self):
+        def crash(inputs, node, ctx):
+            raise RuntimeError("boom")
+
+        report = check_backend(self._broken_backend(crash))
+        text = report.summary()
+        assert "FAIL" in text and "boom" in text
+
+    def test_passing_report_summary(self):
+        from repro.backends import get_backend
+        report = check_backend(get_backend("orpheus"))
+        assert "21/21" in report.summary()
+
+
+class TestCaseGeneration:
+    def test_inputs_reproducible(self):
+        case = STANDARD_CASES[0]
+        a = case.make_inputs(np.random.default_rng(1))
+        b = case.make_inputs(np.random.default_rng(1))
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_integer_dtype_inputs(self):
+        case = ConformanceCase(
+            "gather", "Gather", ((4, 3), (2,)), {"axis": 0},
+            input_dtypes=(np.dtype(np.float32), np.dtype(np.int64)))
+        inputs = case.make_inputs(np.random.default_rng(0))
+        assert inputs[1].dtype == np.int64

@@ -1,0 +1,47 @@
+"""Batch and resolution sweeps."""
+
+import pytest
+
+from repro.bench.sweeps import batch_sweep, resolution_sweep
+
+
+@pytest.fixture(scope="module")
+def wrn_batch():
+    return batch_sweep("wrn-40-2", batches=(1, 2), image_size=16,
+                       repeats=2, warmup=1)
+
+
+class TestBatchSweep:
+    def test_one_point_per_batch(self, wrn_batch):
+        assert [p.batch for p in wrn_batch.points] == [1, 2]
+        assert all(len(p.times) == 2 for p in wrn_batch.points)
+
+    def test_larger_batch_takes_longer_total(self, wrn_batch):
+        assert wrn_batch.points[1].median > wrn_batch.points[0].median * 1.2
+
+    def test_per_item_defined(self, wrn_batch):
+        point = wrn_batch.points[1]
+        assert point.per_item_ms == pytest.approx(
+            point.median * 1e3 / 2, rel=1e-9)
+
+    def test_table_and_csv(self, wrn_batch):
+        assert "latency vs batch" in wrn_batch.table()
+        lines = wrn_batch.csv().splitlines()
+        assert lines[0] == "batch,median_ms,per_item_ms"
+        assert len(lines) == 3
+
+    def test_scaling_factor(self, wrn_batch):
+        assert 0.2 < wrn_batch.scaling_factor() < 2.0
+
+
+class TestResolutionSweep:
+    def test_latency_grows_with_resolution(self):
+        result = resolution_sweep("wrn-40-2", image_sizes=(16, 32),
+                                  repeats=2, warmup=1)
+        assert [p.image_size for p in result.points] == [16, 32]
+        assert result.points[1].median > result.points[0].median
+
+    def test_backend_parameter(self):
+        result = resolution_sweep("wrn-40-2", image_sizes=(16,),
+                                  backend="direct", repeats=1, warmup=0)
+        assert result.points[0].median > 0

@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.node import Node
+from repro.kernels.context import ExecutionContext
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def ctx() -> ExecutionContext:
+    return ExecutionContext(threads=1)
+
+
+def make_conv_node(
+    kernel=(3, 3), strides=(1, 1), pads=(1, 1, 1, 1), dilations=(1, 1),
+    group=1, name="conv", extra_attrs=None, with_bias=True,
+) -> Node:
+    """A Conv node with explicit geometry (no graph required)."""
+    attrs = {
+        "kernel_shape": tuple(kernel),
+        "strides": tuple(strides),
+        "pads": tuple(pads),
+        "dilations": tuple(dilations),
+        "group": group,
+    }
+    if extra_attrs:
+        attrs.update(extra_attrs)
+    inputs = ["x", "w", "b"] if with_bias else ["x", "w"]
+    return Node("Conv", inputs, ["y"], attrs, name=name)
+
+
+def tiny_classifier(seed: int = 0, image: int = 8, channels: int = 4,
+                    classes: int = 3) -> "GraphBuilder":
+    """A small conv->pool->fc classifier graph (finished)."""
+    builder = GraphBuilder("tiny", seed=seed)
+    x = builder.input("input", (1, 3, image, image))
+    y = builder.conv_bn_relu(x, channels, 3, pad=1)
+    y = builder.max_pool(y, 2)
+    y = builder.global_average_pool(y)
+    y = builder.flatten(y)
+    y = builder.dense(y, classes)
+    y = builder.softmax(y)
+    builder.output(y)
+    return builder.finish()
+
+
+@pytest.fixture
+def tiny_graph():
+    return tiny_classifier()

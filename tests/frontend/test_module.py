@@ -1,0 +1,123 @@
+"""Frontend module API: composition and export."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Parallel,
+    ReLU,
+    ReLU6,
+    Residual,
+    Sequential,
+    Softmax,
+    export,
+    export_onnx,
+)
+from repro.onnx import load_model_bytes
+from repro.runtime.session import InferenceSession
+
+
+def small_net():
+    return Sequential(
+        Conv2d(8, 3, padding=1, bias=False),
+        BatchNorm2d(),
+        ReLU(),
+        MaxPool2d(2),
+        GlobalAvgPool2d(),
+        Flatten(),
+        Linear(5),
+        Softmax(),
+    )
+
+
+class TestExport:
+    def test_export_runs(self, rng):
+        graph = export(small_net(), (1, 3, 16, 16))
+        x = rng.standard_normal((1, 3, 16, 16)).astype(np.float32)
+        out = InferenceSession(graph).run({"input": x})["output"]
+        assert out.shape == (1, 5)
+        np.testing.assert_allclose(out.sum(), 1.0, rtol=1e-5)
+
+    def test_canonical_io_names(self):
+        graph = export(small_net(), (1, 3, 16, 16))
+        assert graph.input_names == ["input"]
+        assert graph.output_names == ["output"]
+
+    def test_seeded_export_deterministic(self):
+        a = export(small_net(), (1, 3, 16, 16), seed=9)
+        b = export(small_net(), (1, 3, 16, 16), seed=9)
+        for name in a.initializers:
+            np.testing.assert_array_equal(
+                a.initializers[name], b.initializers[name])
+
+    def test_export_onnx_roundtrip(self, rng):
+        data = export_onnx(small_net(), (1, 3, 16, 16), seed=2)
+        graph = load_model_bytes(data)
+        x = rng.standard_normal((1, 3, 16, 16)).astype(np.float32)
+        out = InferenceSession(graph).run(
+            {"input": x})[graph.output_names[0]]
+        assert out.shape == (1, 5)
+
+
+class TestCompositionBlocks:
+    def test_residual_identity_path(self, rng):
+        net = Sequential(
+            Conv2d(4, 3, padding=1, bias=False),
+            Residual(Sequential(Conv2d(4, 3, padding=1, bias=False), ReLU())),
+            GlobalAvgPool2d(), Flatten(), Linear(2),
+        )
+        graph = export(net, (1, 3, 8, 8))
+        assert len(graph.nodes_by_type("Add")) == 1
+        # Identity shortcut: exactly 2 convs, no projection.
+        assert len(graph.nodes_by_type("Conv")) == 2
+
+    def test_residual_projection_on_channel_change(self):
+        net = Residual(Conv2d(16, 3, padding=1))
+        graph = export(net, (1, 3, 8, 8))
+        assert len(graph.nodes_by_type("Conv")) == 2  # body + 1x1 projection
+
+    def test_residual_projection_on_stride(self):
+        net = Residual(Conv2d(3, 3, stride=2, padding=1))
+        graph = export(net, (1, 3, 8, 8))
+        projection = graph.nodes_by_type("Conv")[-1]
+        assert projection.attrs.get_ints("strides") == (2, 2)
+
+    def test_parallel_concatenates(self):
+        net = Parallel(Conv2d(4, 1), Conv2d(6, 1), AvgPool2d(1))
+        graph = export(net, (1, 3, 8, 8))
+        from repro.ir.shape_inference import infer_shapes
+        values = infer_shapes(graph)
+        assert values["output"][0] == (1, 13, 8, 8)
+
+    def test_parallel_requires_branches(self):
+        with pytest.raises(ValueError, match="at least one branch"):
+            Parallel()
+
+    def test_depthwise_module(self):
+        graph = export(Sequential(DepthwiseConv2d(), ReLU6()), (1, 8, 6, 6))
+        conv = graph.nodes_by_type("Conv")[0]
+        assert conv.attrs.get_int("group") == 8
+
+    def test_dropout_module_is_inference_noop(self, rng):
+        with_dropout = export(
+            Sequential(Conv2d(4, 1), Dropout(0.9)), (1, 3, 4, 4), seed=1)
+        without = export(Sequential(Conv2d(4, 1)), (1, 3, 4, 4), seed=1)
+        x = rng.standard_normal((1, 3, 4, 4)).astype(np.float32)
+        a = InferenceSession(with_dropout).run({"input": x})["output"]
+        b = InferenceSession(without).run({"input": x})["output"]
+        np.testing.assert_allclose(a, b, rtol=1e-6)
+
+    def test_sequential_append(self):
+        net = Sequential(Conv2d(4, 1))
+        net.append(ReLU())
+        graph = export(net, (1, 3, 4, 4))
+        assert len(graph.nodes_by_type("Relu")) == 1

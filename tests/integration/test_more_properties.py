@@ -1,0 +1,110 @@
+"""Additional property-based suites across modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import vision
+from repro.ir.node import Node
+from repro.kernels.context import ExecutionContext
+from repro.kernels.registry import REGISTRY
+
+
+class TestSliceSemantics:
+    """Slice must agree with Python/numpy slicing for every parameter mix."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        size=st.integers(1, 12),
+        start=st.integers(-15, 15),
+        end=st.integers(-15, 15),
+        step=st.integers(-3, 3).filter(lambda s: s != 0),
+    )
+    def test_matches_python_slicing(self, size, start, end, step):
+        rng = np.random.default_rng(size)
+        x = rng.standard_normal((size,)).astype(np.float32)
+        node = Node("Slice", ["x", "s", "e", "a", "st"], ["y"])
+        out = REGISTRY.get("Slice", "default").fn(
+            [x, np.array([start]), np.array([end]),
+             np.array([0]), np.array([step])],
+            node, ExecutionContext())[0]
+        np.testing.assert_array_equal(out, x[start:end:step])
+
+
+class TestGatherSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=st.integers(1, 8),
+        cols=st.integers(1, 6),
+        axis=st.integers(0, 1),
+        count=st.integers(1, 5),
+        seed=st.integers(0, 100),
+    )
+    def test_matches_numpy_take(self, rows, cols, axis, count, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((rows, cols)).astype(np.float32)
+        limit = x.shape[axis]
+        indices = rng.integers(0, limit, count).astype(np.int64)
+        node = Node("Gather", ["x", "i"], ["y"], {"axis": axis})
+        out = REGISTRY.get("Gather", "default").fn(
+            [x, indices], node, ExecutionContext())[0]
+        np.testing.assert_array_equal(out, np.take(x, indices, axis=axis))
+
+
+class TestVisionProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        src=st.integers(2, 30),
+        dst=st.integers(1, 30),
+    )
+    def test_bilinear_bounded_by_input_range(self, src, dst):
+        """Interpolation never overshoots the input's min/max."""
+        rng = np.random.default_rng(src * 31 + dst)
+        image = rng.random((src, src, 3)).astype(np.float32)
+        out = vision.resize_bilinear(image, dst, dst)
+        assert out.shape == (dst, dst, 3)
+        assert out.min() >= image.min() - 1e-5
+        assert out.max() <= image.max() + 1e-5
+
+    @settings(max_examples=25, deadline=None)
+    @given(src=st.integers(1, 20), dst=st.integers(1, 20))
+    def test_nearest_only_emits_input_values(self, src, dst):
+        rng = np.random.default_rng(src * 7 + dst)
+        image = rng.integers(0, 255, (src, src, 1)).astype(np.uint8)
+        out = vision.resize_nearest(image, dst, dst)
+        assert set(np.unique(out)) <= set(np.unique(image))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        height=st.integers(4, 20), width=st.integers(4, 20),
+        crop=st.integers(1, 4),
+    )
+    def test_center_crop_is_a_subarray(self, height, width, crop):
+        rng = np.random.default_rng(height * width)
+        image = rng.random((height, width, 3)).astype(np.float32)
+        out = vision.center_crop(image, crop, crop)
+        top = (height - crop) // 2
+        left = (width - crop) // 2
+        np.testing.assert_array_equal(
+            out, image[top:top + crop, left:left + crop])
+
+
+class TestZooOnnxRoundtrip:
+    """Every zoo model crosses the ONNX boundary losslessly (small sizes)."""
+
+    @pytest.mark.parametrize("name,size", [
+        ("wrn-40-2", 16), ("mobilenet-v1", 32), ("resnet18", 64),
+        ("resnet50", 64), ("inception-v3", 128), ("squeezenet", 64),
+    ])
+    def test_roundtrip(self, name, size, rng):
+        from repro.models import zoo
+        from repro.onnx import load_model_bytes, save_model_bytes
+        from repro.runtime.session import InferenceSession
+        graph = zoo.build(name, image_size=size)
+        back = load_model_bytes(save_model_bytes(graph))
+        x = rng.standard_normal((1, 3, size, size)).astype(np.float32)
+        original = InferenceSession(graph, optimize=False).run({"input": x})
+        restored = InferenceSession(back, optimize=False).run({"input": x})
+        np.testing.assert_allclose(
+            original["output"], restored["output"], rtol=1e-6)

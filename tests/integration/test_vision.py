@@ -1,0 +1,96 @@
+"""Image preprocessing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import vision
+from repro.runtime.session import InferenceSession
+
+
+@pytest.fixture
+def photo(rng):
+    """A synthetic 300x400 RGB uint8 'photo'."""
+    return rng.integers(0, 256, (300, 400, 3)).astype(np.uint8)
+
+
+class TestResize:
+    def test_nearest_shape_and_values(self):
+        image = np.arange(4, dtype=np.uint8).reshape(2, 2, 1)
+        out = vision.resize_nearest(image, 4, 4)
+        assert out.shape == (4, 4, 1)
+        assert out[0, 0, 0] == image[0, 0, 0]
+        assert out[3, 3, 0] == image[1, 1, 0]
+
+    def test_bilinear_constant_image_unchanged(self):
+        image = np.full((10, 10, 3), 7.0, np.float32)
+        out = vision.resize_bilinear(image, 23, 17)
+        np.testing.assert_allclose(out, 7.0, rtol=1e-6)
+
+    def test_bilinear_preserves_range(self, photo):
+        out = vision.resize_bilinear(photo, 150, 200)
+        assert out.min() >= 0 and out.max() <= 255
+
+    def test_bilinear_interpolates_gradient(self):
+        image = np.linspace(0, 100, 11, dtype=np.float32).reshape(1, 11, 1)
+        image = np.repeat(image, 4, axis=0)
+        out = vision.resize_bilinear(image, 4, 21)
+        diffs = np.diff(out[0, :, 0])
+        assert (diffs >= -1e-4).all()  # monotone along the gradient
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError, match="HWC"):
+            vision.resize_nearest(np.zeros((4, 4)), 2, 2)
+
+
+class TestCropNormalize:
+    def test_center_crop_position(self):
+        image = np.zeros((10, 10, 1), np.float32)
+        image[4:6, 4:6] = 1.0
+        out = vision.center_crop(image, 2, 2)
+        np.testing.assert_array_equal(out[:, :, 0], [[1, 1], [1, 1]])
+
+    def test_crop_too_large_rejected(self, photo):
+        with pytest.raises(ValueError, match="larger"):
+            vision.center_crop(photo, 500, 500)
+
+    def test_normalize_uint8_range(self, photo):
+        out = vision.normalize(photo)
+        assert out.dtype == np.float32
+        assert -3 < out.min() < out.max() < 3
+
+    def test_normalize_float_passthrough_scaling(self):
+        image = np.full((2, 2, 3), 0.5, np.float32)
+        out = vision.normalize(image, vision.INCEPTION_MEAN,
+                               vision.INCEPTION_STD)
+        np.testing.assert_allclose(out, 0.0, atol=1e-6)
+
+    def test_to_nchw(self, photo):
+        out = vision.to_nchw(photo.astype(np.float32))
+        assert out.shape == (1, 3, 300, 400)
+        assert out.flags["C_CONTIGUOUS"]
+
+
+class TestPreprocessFor:
+    @pytest.mark.parametrize("model,expected", [
+        ("resnet18", (1, 3, 224, 224)),
+        ("wrn-40-2", (1, 3, 32, 32)),
+        ("inception-v3", (1, 3, 299, 299)),
+    ])
+    def test_shapes(self, photo, model, expected):
+        assert vision.preprocess_for(model, photo).shape == expected
+
+    def test_feeds_a_session(self, photo):
+        from repro.models import zoo
+        graph = zoo.build("squeezenet")
+        x = vision.preprocess_for("squeezenet", photo)
+        out = InferenceSession(graph).run({"input": x})["output"]
+        assert out.shape == (1, 1000)
+
+    def test_inception_uses_pm1_statistics(self, photo):
+        x = vision.preprocess_for("inception-v3", photo)
+        assert -1.01 <= x.min() and x.max() <= 1.01
+
+    def test_small_source_still_works(self, rng):
+        tiny = rng.integers(0, 256, (40, 60, 3)).astype(np.uint8)
+        out = vision.preprocess_for("wrn-40-2", tiny)
+        assert out.shape == (1, 3, 32, 32)

@@ -1,0 +1,112 @@
+"""Attributes: normalisation, typed getters, mutation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AttributeError_
+from repro.ir.attributes import Attributes
+
+
+class TestNormalisation:
+    def test_bool_becomes_int(self):
+        attrs = Attributes({"flag": True})
+        assert attrs.get_int("flag") == 1
+
+    def test_numpy_scalars_become_python(self):
+        attrs = Attributes({"i": np.int64(3), "f": np.float32(1.5)})
+        assert attrs.get_int("i") == 3
+        assert attrs.get_float("f") == pytest.approx(1.5)
+
+    def test_int_list_becomes_tuple(self):
+        attrs = Attributes({"pads": [1, 2, 3, 4]})
+        assert attrs.get_ints("pads") == (1, 2, 3, 4)
+
+    def test_mixed_numeric_list_promotes_to_floats(self):
+        attrs = Attributes({"vals": [1, 2.5]})
+        assert attrs.get_floats("vals") == (1.0, 2.5)
+
+    def test_mixed_type_list_rejected(self):
+        with pytest.raises(AttributeError_, match="mixed-type"):
+            Attributes({"bad": [1, "a"]})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(AttributeError_, match="unsupported type"):
+            Attributes({"bad": object()})
+
+
+class TestTypedGetters:
+    def test_missing_required_raises(self):
+        attrs = Attributes()
+        with pytest.raises(AttributeError_, match="missing required"):
+            attrs.get_int("absent")
+
+    def test_missing_with_default(self):
+        assert Attributes().get_int("absent", 7) == 7
+        assert Attributes().get_str("absent", "x") == "x"
+        assert Attributes().get_ints("absent", (1, 2)) == (1, 2)
+
+    def test_int_promotes_to_float(self):
+        assert Attributes({"x": 2}).get_float("x") == 2.0
+
+    def test_scalar_promotes_to_ints_tuple(self):
+        assert Attributes({"axes": 1}).get_ints("axes") == (1,)
+
+    def test_wrong_type_raises(self):
+        attrs = Attributes({"name": "relu"})
+        with pytest.raises(AttributeError_, match="expected int"):
+            attrs.get_int("name")
+
+    def test_tensor_getter(self):
+        value = np.eye(2, dtype=np.float32)
+        attrs = Attributes({"value": value})
+        np.testing.assert_array_equal(attrs.get_tensor("value"), value)
+
+    def test_tensor_getter_rejects_scalar(self):
+        with pytest.raises(AttributeError_, match="expected tensor"):
+            Attributes({"value": 3}).get_tensor("value")
+
+
+class TestMappingProtocol:
+    def test_contains_iter_len(self):
+        attrs = Attributes({"a": 1, "b": 2.0})
+        assert "a" in attrs
+        assert "c" not in attrs
+        assert sorted(attrs) == ["a", "b"]
+        assert len(attrs) == 2
+
+    def test_as_dict_is_a_copy(self):
+        attrs = Attributes({"a": 1})
+        d = attrs.as_dict()
+        d["a"] = 99
+        assert attrs.get_int("a") == 1
+
+
+class TestMutation:
+    def test_set_and_remove(self):
+        attrs = Attributes()
+        attrs.set("k", 5)
+        assert attrs.get_int("k") == 5
+        attrs.remove("k")
+        assert "k" not in attrs
+
+    def test_updated_leaves_original(self):
+        attrs = Attributes({"a": 1})
+        updated = attrs.updated(b=2)
+        assert "b" not in attrs
+        assert updated.get_int("a") == 1
+        assert updated.get_int("b") == 2
+
+
+class TestEquality:
+    def test_equal_values(self):
+        assert Attributes({"a": 1, "b": (1, 2)}) == Attributes({"a": 1, "b": [1, 2]})
+
+    def test_unequal_keys(self):
+        assert Attributes({"a": 1}) != Attributes({"b": 1})
+
+    def test_tensor_equality(self):
+        a = Attributes({"t": np.ones(3)})
+        b = Attributes({"t": np.ones(3)})
+        c = Attributes({"t": np.zeros(3)})
+        assert a == b
+        assert a != c

@@ -1,0 +1,65 @@
+"""DOT export of IR graphs."""
+
+from repro.ir.dot import save_dot, to_dot
+from tests.conftest import tiny_classifier
+
+
+class TestToDot:
+    def test_is_valid_dot_shape(self, tiny_graph):
+        text = to_dot(tiny_graph)
+        assert text.startswith('digraph "tiny" {')
+        assert text.rstrip().endswith("}")
+        assert text.count("{") == text.count("}")
+
+    def test_every_node_rendered(self, tiny_graph):
+        text = to_dot(tiny_graph)
+        for index in range(len(tiny_graph.nodes)):
+            assert f'"node:{index}"' in text
+
+    def test_io_ovals_present(self, tiny_graph):
+        text = to_dot(tiny_graph)
+        assert '"val:input"' in text
+        assert '"out:' in text
+
+    def test_weights_not_rendered_as_edges(self, tiny_graph):
+        text = to_dot(tiny_graph)
+        for name in tiny_graph.initializers:
+            assert name not in text
+
+    def test_conv_annotation(self, tiny_graph):
+        text = to_dot(tiny_graph)
+        assert "Conv\\n3x3" in text
+
+    def test_fused_activation_annotation(self):
+        from repro.passes import default_pipeline
+        graph = default_pipeline().run(tiny_classifier())
+        text = to_dot(graph)
+        assert "+relu" in text
+
+    def test_shape_labels_toggle(self, tiny_graph):
+        with_shapes = to_dot(tiny_graph, with_shapes=True)
+        without = to_dot(tiny_graph, with_shapes=False)
+        assert 'label="1x4x8x8"' in with_shapes
+        assert 'label="1x4x8x8"' not in without
+
+    def test_edges_follow_dataflow(self, tiny_graph):
+        text = to_dot(tiny_graph)
+        # input feeds the first node
+        assert '"val:input" -> "node:0"' in text
+
+    def test_save(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.dot"
+        save_dot(tiny_graph, str(path))
+        assert path.read_text().startswith("digraph")
+
+    def test_quotes_in_names_escaped(self):
+        from repro.ir.graph import Graph, ValueInfo
+        from repro.ir.node import Node
+        graph = Graph(
+            name='we"ird',
+            inputs=[ValueInfo("input", (1, 2))],
+            outputs=[ValueInfo("y", (1, 2))],
+            nodes=[Node("Relu", ["input"], ["y"])],
+        )
+        text = to_dot(graph)
+        assert 'digraph "we\\"ird"' in text

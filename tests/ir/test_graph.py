@@ -1,0 +1,190 @@
+"""Graph invariants: validation, topological sort, mutation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.ir.graph import Graph, ValueInfo
+from repro.ir.node import Node
+from repro.tensor.dtype import DType
+
+
+def linear_graph() -> Graph:
+    """input -> Relu -> Relu -> output"""
+    return Graph(
+        name="lin",
+        inputs=[ValueInfo("x", (1, 4))],
+        outputs=[ValueInfo("z", (1, 4))],
+        nodes=[
+            Node("Relu", ["x"], ["y"], name="r1"),
+            Node("Relu", ["y"], ["z"], name="r2"),
+        ],
+    )
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        linear_graph().validate()
+
+    def test_undefined_input_rejected(self):
+        g = linear_graph()
+        g.nodes[0].inputs = ["ghost"]
+        with pytest.raises(GraphError, match="undefined value"):
+            g.validate()
+
+    def test_double_definition_rejected(self):
+        g = linear_graph()
+        g.nodes[1].outputs = ["y"]
+        with pytest.raises(GraphError, match="more than once"):
+            g.validate()
+
+    def test_unproduced_output_rejected(self):
+        g = linear_graph()
+        g.outputs = [ValueInfo("nope", (1,))]
+        with pytest.raises(GraphError, match="never produced"):
+            g.validate()
+
+    def test_cycle_rejected(self):
+        g = Graph(
+            inputs=[ValueInfo("x", (1,))],
+            outputs=[ValueInfo("b", (1,))],
+            nodes=[
+                Node("Add", ["x", "b"], ["a"], name="n1"),
+                Node("Relu", ["a"], ["b"], name="n2"),
+            ],
+        )
+        with pytest.raises(GraphError, match="cycle"):
+            g.validate()
+
+    def test_input_initializer_overlap_rejected(self):
+        g = linear_graph()
+        g.initializers["x"] = np.zeros(4)
+        with pytest.raises(GraphError, match="both inputs and initializers"):
+            g.validate()
+
+    def test_optional_empty_input_allowed(self):
+        g = linear_graph()
+        g.nodes[0].inputs = ["x", ""]
+        g.validate()
+
+
+class TestToposort:
+    def test_respects_dependencies(self):
+        g = linear_graph()
+        g.nodes.reverse()  # store out of order
+        order = [n.name for n in g.toposort()]
+        assert order.index("r1") < order.index("r2")
+
+    def test_diamond(self):
+        g = Graph(
+            inputs=[ValueInfo("x", (1,))],
+            outputs=[ValueInfo("out", (1,))],
+            nodes=[
+                Node("Add", ["l", "r"], ["out"], name="join"),
+                Node("Relu", ["x"], ["l"], name="left"),
+                Node("Sigmoid", ["x"], ["r"], name="right"),
+            ],
+        )
+        order = [n.name for n in g.toposort()]
+        assert order.index("join") == 2
+
+    def test_all_nodes_present(self):
+        g = linear_graph()
+        assert len(g.toposort()) == len(g.nodes)
+
+
+class TestLookups:
+    def test_producers(self):
+        g = linear_graph()
+        assert g.producers()["y"].name == "r1"
+
+    def test_consumers(self):
+        g = linear_graph()
+        assert [n.name for n in g.consumers()["y"]] == ["r2"]
+
+    def test_find_node(self):
+        assert linear_graph().find_node("r1").op_type == "Relu"
+        with pytest.raises(GraphError, match="no node named"):
+            linear_graph().find_node("missing")
+
+    def test_nodes_by_type(self):
+        assert len(linear_graph().nodes_by_type("Relu")) == 2
+        assert linear_graph().nodes_by_type("Conv") == []
+
+    def test_op_histogram(self):
+        assert linear_graph().op_histogram() == {"Relu": 2}
+
+
+class TestMutation:
+    def test_remove_nodes(self):
+        g = linear_graph()
+        g.remove_nodes([g.nodes[0]])
+        assert len(g.nodes) == 1
+
+    def test_add_initializer_rejects_duplicates(self):
+        g = linear_graph()
+        g.add_initializer("w", np.zeros(2))
+        with pytest.raises(GraphError, match="already exists"):
+            g.add_initializer("w", np.zeros(2))
+
+    def test_prune_initializers(self):
+        g = linear_graph()
+        g.add_initializer("unused", np.zeros(2))
+        assert g.prune_initializers() == 1
+        assert "unused" not in g.initializers
+
+    def test_prune_keeps_used(self):
+        g = linear_graph()
+        g.add_initializer("w", np.zeros(2))
+        g.nodes[0].inputs.append("w")
+        assert g.prune_initializers() == 0
+
+    def test_rename_value(self):
+        g = linear_graph()
+        g.rename_value("y", "middle")
+        g.validate()
+        assert g.producers()["middle"].name == "r1"
+        assert "y" not in g.consumers()
+
+    def test_rename_graph_output(self):
+        g = linear_graph()
+        g.rename_value("z", "probs")
+        assert g.output_names == ["probs"]
+        g.validate()
+
+    def test_rename_to_existing_name_rejected(self):
+        g = linear_graph()
+        with pytest.raises(GraphError, match="already exists"):
+            g.rename_value("y", "z")
+
+    def test_copy_is_deep_for_structure(self):
+        g = linear_graph()
+        g.add_initializer("w", np.zeros(2))
+        c = g.copy()
+        c.nodes[0].inputs[0] = "changed"
+        c.initializers["extra"] = np.ones(1)
+        assert g.nodes[0].inputs[0] == "x"
+        assert "extra" not in g.initializers
+
+    def test_num_parameters(self):
+        g = linear_graph()
+        g.add_initializer("w", np.zeros((2, 3)))
+        # Dangling initializers still count until pruned.
+        assert g.num_parameters() == 6
+
+
+class TestValueInfo:
+    def test_shape_normalised_to_ints(self):
+        info = ValueInfo("x", (np.int64(1), 3))
+        assert info.shape == (1, 3)
+        assert all(isinstance(d, int) for d in info.shape)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ValueInfo("", (1,))
+
+    def test_with_shape(self):
+        info = ValueInfo("x", (1, -1), DType.INT64)
+        resized = info.with_shape((1, 8))
+        assert resized.shape == (1, 8)
+        assert resized.dtype is DType.INT64

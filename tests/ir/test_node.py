@@ -1,0 +1,56 @@
+"""Node: construction and input rewiring."""
+
+import pytest
+
+from repro.ir.node import Node
+
+
+class TestConstruction:
+    def test_default_name_derives_from_op_and_output(self):
+        node = Node("Relu", ["x"], ["y"])
+        assert node.name == "Relu_y"
+
+    def test_explicit_name(self):
+        assert Node("Relu", ["x"], ["y"], name="act1").name == "act1"
+
+    def test_empty_op_type_rejected(self):
+        with pytest.raises(ValueError, match="op_type"):
+            Node("", ["x"], ["y"])
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(ValueError, match="at least one output"):
+            Node("Relu", ["x"], [])
+
+    def test_attrs_dict_normalised(self):
+        node = Node("Conv", ["x", "w"], ["y"], {"group": True})
+        assert node.attrs.get_int("group") == 1
+
+
+class TestInputs:
+    def test_present_inputs_skips_optionals(self):
+        node = Node("Clip", ["x", "", "hi"], ["y"])
+        assert node.present_inputs == ["x", "hi"]
+
+    def test_replace_input_all_occurrences(self):
+        node = Node("Add", ["a", "a"], ["y"])
+        node.replace_input("a", "b")
+        assert node.inputs == ["b", "b"]
+
+    def test_replace_input_missing_is_noop(self):
+        node = Node("Relu", ["x"], ["y"])
+        node.replace_input("zzz", "b")
+        assert node.inputs == ["x"]
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        node = Node("Conv", ["x", "w"], ["y"], {"group": 2}, name="c")
+        clone = node.copy()
+        clone.inputs[0] = "other"
+        clone.attrs.set("group", 4)
+        assert node.inputs[0] == "x"
+        assert node.attrs.get_int("group") == 2
+
+    def test_repr_contains_essentials(self):
+        text = repr(Node("Relu", ["x"], ["y"], name="r"))
+        assert "Relu" in text and "r" in text

@@ -1,0 +1,42 @@
+"""Graph printer: text rendering of graphs."""
+
+from repro.ir.printer import format_shape, print_graph, summarize
+
+
+class TestFormatShape:
+    def test_concrete(self):
+        assert format_shape((1, 3, 32, 32)) == "1x3x32x32"
+
+    def test_symbolic(self):
+        assert format_shape((-1, 10)) == "?x10"
+
+    def test_scalar(self):
+        assert format_shape(()) == "scalar"
+
+
+class TestPrintGraph:
+    def test_contains_all_sections(self, tiny_graph):
+        text = print_graph(tiny_graph)
+        assert "graph tiny" in text
+        assert "input  input: 1x3x8x8" in text
+        assert "Conv(" in text
+        assert "output" in text
+
+    def test_shapes_annotated(self, tiny_graph):
+        text = print_graph(tiny_graph)
+        assert ":1x4x8x8" in text  # conv output shape annotation
+
+    def test_without_shapes(self, tiny_graph):
+        text = print_graph(tiny_graph, with_shapes=False)
+        assert ":1x4x8x8" not in text
+
+    def test_attrs_rendered(self, tiny_graph):
+        text = print_graph(tiny_graph)
+        assert "kernel_shape=(3, 3)" in text
+
+
+class TestSummarize:
+    def test_mentions_counts(self, tiny_graph):
+        text = summarize(tiny_graph)
+        assert "8 nodes" in text
+        assert "parameters" in text

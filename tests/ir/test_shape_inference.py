@@ -1,0 +1,286 @@
+"""Shape inference: per-op formulas, symbolic dims, error reporting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeInferenceError, UnsupportedOpError
+from repro.ir.graph import Graph, ValueInfo
+from repro.ir.node import Node
+from repro.ir.shape_inference import broadcast_shapes, infer_shapes, supported_ops
+from repro.tensor.dtype import DType
+
+
+def infer_single(op_type, input_shapes, attrs=None, extra_inits=None,
+                 num_outputs=1, input_dtypes=None):
+    """Infer shapes for a single-node graph; returns output shapes."""
+    inputs = []
+    node_inputs = []
+    for index, shape in enumerate(input_shapes):
+        name = f"in{index}"
+        dtype = (input_dtypes or {}).get(index, DType.FLOAT32)
+        inputs.append(ValueInfo(name, shape, dtype))
+        node_inputs.append(name)
+    outputs = [f"out{i}" for i in range(num_outputs)]
+    graph = Graph(
+        inputs=inputs,
+        outputs=[],
+        nodes=[Node(op_type, node_inputs, outputs, attrs)],
+        initializers=dict(extra_inits or {}),
+    )
+    if extra_inits:
+        graph.nodes[0].inputs.extend(extra_inits.keys())
+    values = infer_shapes(graph)
+    return [values[name] for name in outputs]
+
+
+class TestConv:
+    def test_basic_3x3_same(self):
+        [(shape, dtype)] = infer_single(
+            "Conv", [(1, 3, 32, 32), (8, 3, 3, 3)],
+            {"kernel_shape": (3, 3), "pads": (1, 1, 1, 1)})
+        assert shape == (1, 8, 32, 32)
+        assert dtype is DType.FLOAT32
+
+    def test_stride_two(self):
+        [(shape, _)] = infer_single(
+            "Conv", [(1, 3, 224, 224), (64, 3, 7, 7)],
+            {"kernel_shape": (7, 7), "strides": (2, 2), "pads": (3, 3, 3, 3)})
+        assert shape == (1, 64, 112, 112)
+
+    def test_dilation(self):
+        [(shape, _)] = infer_single(
+            "Conv", [(1, 1, 16, 16), (1, 1, 3, 3)],
+            {"kernel_shape": (3, 3), "dilations": (2, 2)})
+        assert shape == (1, 1, 12, 12)
+
+    def test_grouped(self):
+        [(shape, _)] = infer_single(
+            "Conv", [(1, 8, 10, 10), (8, 1, 3, 3)],
+            {"kernel_shape": (3, 3), "group": 8, "pads": (1, 1, 1, 1)})
+        assert shape == (1, 8, 10, 10)
+
+    def test_same_upper_auto_pad(self):
+        [(shape, _)] = infer_single(
+            "Conv", [(1, 3, 15, 15), (4, 3, 3, 3)],
+            {"kernel_shape": (3, 3), "strides": (2, 2), "auto_pad": "SAME_UPPER"})
+        assert shape == (1, 4, 8, 8)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ShapeInferenceError, match="input channels"):
+            infer_single("Conv", [(1, 4, 8, 8), (8, 3, 3, 3)],
+                         {"kernel_shape": (3, 3)})
+
+    def test_kernel_larger_than_input_rejected(self):
+        with pytest.raises(ShapeInferenceError, match="non-positive"):
+            infer_single("Conv", [(1, 1, 2, 2), (1, 1, 5, 5)],
+                         {"kernel_shape": (5, 5)})
+
+    def test_symbolic_batch_flows_through(self):
+        [(shape, _)] = infer_single(
+            "Conv", [(-1, 3, 8, 8), (4, 3, 1, 1)], {"kernel_shape": (1, 1)})
+        assert shape == (-1, 4, 8, 8)
+
+    def test_bias_shape_checked(self):
+        graph = Graph(
+            inputs=[ValueInfo("x", (1, 3, 8, 8))],
+            nodes=[Node("Conv", ["x", "w", "b"], ["y"],
+                        {"kernel_shape": (1, 1)})],
+            initializers={
+                "w": np.zeros((4, 3, 1, 1), np.float32),
+                "b": np.zeros(5, np.float32),
+            },
+        )
+        with pytest.raises(ShapeInferenceError, match="bias shape"):
+            infer_shapes(graph)
+
+
+class TestPooling:
+    def test_maxpool_floor(self):
+        [(shape, _)] = infer_single(
+            "MaxPool", [(1, 8, 7, 7)], {"kernel_shape": (2, 2), "strides": (2, 2)})
+        assert shape == (1, 8, 3, 3)
+
+    def test_maxpool_ceil(self):
+        [(shape, _)] = infer_single(
+            "MaxPool", [(1, 8, 7, 7)],
+            {"kernel_shape": (2, 2), "strides": (2, 2), "ceil_mode": 1})
+        assert shape == (1, 8, 4, 4)
+
+    def test_avgpool_padded(self):
+        [(shape, _)] = infer_single(
+            "AveragePool", [(1, 8, 8, 8)],
+            {"kernel_shape": (3, 3), "strides": (1, 1), "pads": (1, 1, 1, 1)})
+        assert shape == (1, 8, 8, 8)
+
+    def test_global_average_pool(self):
+        [(shape, _)] = infer_single("GlobalAveragePool", [(2, 16, 9, 11)])
+        assert shape == (2, 16, 1, 1)
+
+
+class TestGemmMatmul:
+    def test_gemm_plain(self):
+        [(shape, _)] = infer_single("Gemm", [(4, 8), (8, 3)])
+        assert shape == (4, 3)
+
+    def test_gemm_transb(self):
+        [(shape, _)] = infer_single("Gemm", [(4, 8), (3, 8)], {"transB": 1})
+        assert shape == (4, 3)
+
+    def test_gemm_mismatch_rejected(self):
+        with pytest.raises(ShapeInferenceError, match="inner dims"):
+            infer_single("Gemm", [(4, 8), (7, 3)])
+
+    def test_matmul_batched_broadcast(self):
+        [(shape, _)] = infer_single("MatMul", [(5, 1, 4, 8), (3, 8, 2)])
+        assert shape == (5, 3, 4, 2)
+
+
+class TestElementwiseAndShapeOps:
+    def test_add_broadcast(self):
+        [(shape, _)] = infer_single("Add", [(2, 3, 4), (1, 4)])
+        assert shape == (2, 3, 4)
+
+    def test_add_incompatible_rejected(self):
+        with pytest.raises(ShapeInferenceError, match="broadcast"):
+            infer_single("Add", [(2, 3), (2, 4)])
+
+    def test_concat(self):
+        [(shape, _)] = infer_single(
+            "Concat", [(1, 3, 4, 4), (1, 5, 4, 4)], {"axis": 1})
+        assert shape == (1, 8, 4, 4)
+
+    def test_concat_negative_axis(self):
+        [(shape, _)] = infer_single("Concat", [(2, 3), (2, 4)], {"axis": -1})
+        assert shape == (2, 7)
+
+    def test_concat_rank_mismatch_rejected(self):
+        with pytest.raises(ShapeInferenceError):
+            infer_single("Concat", [(1, 3), (1, 3, 1)], {"axis": 0})
+
+    def test_flatten_default_axis(self):
+        [(shape, _)] = infer_single("Flatten", [(2, 3, 4, 5)])
+        assert shape == (2, 60)
+
+    def test_flatten_axis0(self):
+        [(shape, _)] = infer_single("Flatten", [(2, 3)], {"axis": 0})
+        assert shape == (1, 6)
+
+    def test_reshape_with_minus_one(self):
+        [(shape, _)] = infer_single(
+            "Reshape", [(2, 3, 4)],
+            extra_inits={"shape_t": np.array([2, -1], np.int64)})
+        assert shape == (2, 12)
+
+    def test_reshape_zero_copies_dim(self):
+        [(shape, _)] = infer_single(
+            "Reshape", [(2, 3, 4)],
+            extra_inits={"shape_t": np.array([0, -1], np.int64)})
+        assert shape == (2, 12)
+
+    def test_reshape_element_mismatch_rejected(self):
+        with pytest.raises(ShapeInferenceError):
+            infer_single("Reshape", [(2, 3)],
+                         extra_inits={"shape_t": np.array([5], np.int64)})
+
+    def test_transpose_default_reverses(self):
+        [(shape, _)] = infer_single("Transpose", [(2, 3, 4)])
+        assert shape == (4, 3, 2)
+
+    def test_transpose_perm(self):
+        [(shape, _)] = infer_single("Transpose", [(2, 3, 4)], {"perm": (0, 2, 1)})
+        assert shape == (2, 4, 3)
+
+    def test_transpose_bad_perm_rejected(self):
+        with pytest.raises(ShapeInferenceError, match="permutation"):
+            infer_single("Transpose", [(2, 3)], {"perm": (0, 0)})
+
+    def test_pad(self):
+        [(shape, _)] = infer_single(
+            "Pad", [(1, 3, 4, 4)], {"pads": (0, 0, 1, 1, 0, 0, 1, 1)})
+        assert shape == (1, 3, 6, 6)
+
+    def test_squeeze_axes_attr(self):
+        [(shape, _)] = infer_single("Squeeze", [(1, 3, 1, 4)], {"axes": (0, 2)})
+        assert shape == (3, 4)
+
+    def test_squeeze_all_unit_dims(self):
+        [(shape, _)] = infer_single("Squeeze", [(1, 3, 1)])
+        assert shape == (3,)
+
+    def test_squeeze_nonunit_rejected(self):
+        with pytest.raises(ShapeInferenceError, match="cannot squeeze"):
+            infer_single("Squeeze", [(2, 3)], {"axes": (0,)})
+
+    def test_unsqueeze(self):
+        [(shape, _)] = infer_single("Unsqueeze", [(3, 4)], {"axes": (0, 3)})
+        assert shape == (1, 3, 4, 1)
+
+    def test_reduce_mean_keepdims(self):
+        [(shape, _)] = infer_single("ReduceMean", [(2, 3, 4)], {"axes": (1,)})
+        assert shape == (2, 1, 4)
+
+    def test_reduce_mean_no_keepdims(self):
+        [(shape, _)] = infer_single(
+            "ReduceMean", [(2, 3, 4)], {"axes": (1,), "keepdims": 0})
+        assert shape == (2, 4)
+
+    def test_shape_op(self):
+        [(shape, dtype)] = infer_single("Shape", [(2, 3, 4)])
+        assert shape == (3,)
+        assert dtype is DType.INT64
+
+    def test_dropout_mask_output(self):
+        [main, mask] = infer_single("Dropout", [(2, 3)], num_outputs=2)
+        assert main[0] == (2, 3)
+        assert mask == ((2, 3), DType.BOOL)
+
+
+class TestBatchNorm:
+    def test_bn_shape_passthrough(self):
+        shapes = [(1, 8, 4, 4), (8,), (8,), (8,), (8,)]
+        [(shape, _)] = infer_single("BatchNormalization", shapes)
+        assert shape == (1, 8, 4, 4)
+
+    def test_bn_param_mismatch_rejected(self):
+        shapes = [(1, 8, 4, 4), (4,), (8,), (8,), (8,)]
+        with pytest.raises(ShapeInferenceError, match="scale shape"):
+            infer_single("BatchNormalization", shapes)
+
+
+class TestFrameworkLevel:
+    def test_unsupported_op_rejected(self):
+        with pytest.raises(UnsupportedOpError, match="no shape inference"):
+            infer_single("MadeUpOp", [(1, 2)])
+
+    def test_supported_ops_is_sorted_and_nonempty(self):
+        ops = supported_ops()
+        assert ops == sorted(ops)
+        assert "Conv" in ops and "Softmax" in ops
+
+    def test_constant_node_shape(self):
+        graph = Graph(
+            inputs=[],
+            nodes=[Node("Constant", [], ["c"],
+                        {"value": np.zeros((2, 5), np.float32)})],
+        )
+        values = infer_shapes(graph)
+        assert values["c"] == ((2, 5), DType.FLOAT32)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.lists(st.integers(1, 6), min_size=1, max_size=4),
+    b=st.lists(st.integers(1, 6), min_size=1, max_size=4),
+)
+def test_broadcast_matches_numpy(a, b):
+    """broadcast_shapes agrees with numpy wherever numpy accepts the pair."""
+    node = Node("Add", ["a", "b"], ["y"])
+    try:
+        expected = np.broadcast_shapes(tuple(a), tuple(b))
+    except ValueError:
+        with pytest.raises(ShapeInferenceError):
+            broadcast_shapes(node, tuple(a), tuple(b))
+        return
+    assert broadcast_shapes(node, tuple(a), tuple(b)) == expected

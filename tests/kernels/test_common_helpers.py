@@ -1,0 +1,102 @@
+"""Shared kernel helpers: conv geometry, padding, im2col lowering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.common import (
+    conv_params,
+    im2col,
+    im2col_loops,
+    pad_input,
+)
+from tests.helpers import make_conv_node
+
+
+class TestConvParams:
+    def test_basic_geometry(self):
+        node = make_conv_node()
+        params = conv_params(node, (2, 3, 8, 8), (4, 3, 3, 3))
+        assert (params.batch, params.in_channels) == (2, 3)
+        assert (params.out_h, params.out_w) == (8, 8)
+        assert params.out_channels == 4
+
+    def test_stride_and_dilation(self):
+        node = make_conv_node(strides=(2, 2), dilations=(2, 2),
+                              pads=(2, 2, 2, 2))
+        params = conv_params(node, (1, 1, 10, 10), (1, 1, 3, 3))
+        assert (params.out_h, params.out_w) == (5, 5)
+
+    def test_classification_flags(self):
+        depthwise = conv_params(
+            make_conv_node(group=8), (1, 8, 4, 4), (8, 1, 3, 3))
+        assert depthwise.is_depthwise and not depthwise.is_pointwise
+        pointwise = conv_params(
+            make_conv_node(kernel=(1, 1), pads=(0, 0, 0, 0)),
+            (1, 8, 4, 4), (4, 8, 1, 1))
+        assert pointwise.is_pointwise and not pointwise.is_depthwise
+
+    def test_macs(self):
+        params = conv_params(make_conv_node(), (1, 3, 8, 8), (4, 3, 3, 3))
+        assert params.macs == 4 * 64 * 3 * 9
+
+
+class TestPadInput:
+    def test_no_pad_returns_same_object(self, rng):
+        x = rng.standard_normal((1, 2, 4, 4))
+        assert pad_input(x, (0, 0, 0, 0)) is x
+
+    def test_asymmetric_pads(self, rng):
+        x = rng.standard_normal((1, 1, 2, 3))
+        padded = pad_input(x, (1, 2, 3, 4))
+        assert padded.shape == (1, 1, 2 + 1 + 3, 3 + 2 + 4)
+        assert padded[0, 0, 0, 0] == 0
+        np.testing.assert_array_equal(padded[0, 0, 1:3, 2:5], x[0, 0])
+
+    def test_pad_value(self):
+        padded = pad_input(np.zeros((1, 1, 1, 1)), (1, 1, 1, 1), value=-9.0)
+        assert padded[0, 0, 0, 0] == -9.0
+
+
+class TestIm2col:
+    def test_known_1d_case(self):
+        # 1 channel, 1x3 kernel over a 1x5 row: columns are the 3 windows.
+        x = np.arange(5, dtype=np.float32).reshape(1, 1, 1, 5)
+        node = make_conv_node(kernel=(1, 3), pads=(0, 0, 0, 0))
+        params = conv_params(node, x.shape, (1, 1, 1, 3))
+        columns = im2col(x, params)
+        assert columns.shape == (1, 3, 3)
+        np.testing.assert_array_equal(
+            columns[0], [[0, 1, 2], [1, 2, 3], [2, 3, 4]])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        channels=st.integers(1, 4),
+        height=st.integers(3, 9),
+        width=st.integers(3, 9),
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        dilation=st.integers(1, 2),
+    )
+    def test_both_lowerings_agree(self, channels, height, width, kernel,
+                                  stride, dilation):
+        """The fast view-based im2col equals the loop-built one everywhere."""
+        effective = dilation * (kernel - 1) + 1
+        if effective > height or effective > width:
+            return
+        rng = np.random.default_rng(channels * height * width)
+        x = rng.standard_normal((1, channels, height, width)).astype(np.float32)
+        node = make_conv_node(
+            kernel=(kernel, kernel), strides=(stride, stride),
+            pads=(0, 0, 0, 0), dilations=(dilation, dilation))
+        params = conv_params(
+            node, x.shape, (1, channels, kernel, kernel))
+        np.testing.assert_array_equal(
+            im2col(x, params), im2col_loops(x, params))
+
+    def test_columns_contiguous(self, rng):
+        x = rng.standard_normal((1, 2, 6, 6)).astype(np.float32)
+        node = make_conv_node(pads=(0, 0, 0, 0))
+        params = conv_params(node, x.shape, (1, 2, 3, 3))
+        assert im2col(x, params).flags["C_CONTIGUOUS"]

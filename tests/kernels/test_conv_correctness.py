@@ -1,0 +1,174 @@
+"""Convolution kernels: all implementations agree with the loop reference.
+
+This is the paper's "suite of unit tests to ensure correctness of all
+operations, and to provide ready-made assistance in the development and
+integration of new backends": any new conv kernel added to the registry is
+automatically picked up and checked against the oracle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.context import ExecutionContext
+from repro.kernels.registry import REGISTRY
+from tests.helpers import conv_reference_check, make_conv_node
+
+
+def all_conv_impls():
+    return [impl.name for impl in REGISTRY.implementations("Conv")]
+
+
+def run_impl(name, inputs, node):
+    impl = REGISTRY.get("Conv", name)
+    shapes = [np.asarray(i).shape for i in inputs]
+    if not impl.supports(node, shapes):
+        pytest.skip(f"{name} not applicable")
+    return impl.fn(list(inputs), node, ExecutionContext())[0]
+
+
+@pytest.fixture
+def reference():
+    return REGISTRY.get("Conv", "reference")
+
+
+class TestAgainstReference:
+    """Every registered implementation matches the 7-loop oracle."""
+
+    @pytest.mark.parametrize("impl_name", all_conv_impls())
+    def test_basic_3x3(self, impl_name, rng):
+        x = rng.standard_normal((1, 3, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(4).astype(np.float32)
+        node = make_conv_node()
+        conv_reference_check(impl_name, [x, w, b], node)
+
+    @pytest.mark.parametrize("impl_name", all_conv_impls())
+    def test_1x1_pointwise(self, impl_name, rng):
+        x = rng.standard_normal((2, 6, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((4, 6, 1, 1)).astype(np.float32)
+        node = make_conv_node(kernel=(1, 1), pads=(0, 0, 0, 0), with_bias=False)
+        conv_reference_check(impl_name, [x, w], node)
+
+    @pytest.mark.parametrize("impl_name", all_conv_impls())
+    def test_stride_2(self, impl_name, rng):
+        x = rng.standard_normal((1, 3, 9, 9)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        node = make_conv_node(strides=(2, 2), pads=(1, 1, 1, 1), with_bias=False)
+        conv_reference_check(impl_name, [x, w], node)
+
+    @pytest.mark.parametrize("impl_name", all_conv_impls())
+    def test_asymmetric_kernel_and_pads(self, impl_name, rng):
+        x = rng.standard_normal((1, 2, 7, 9)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 1, 5)).astype(np.float32)
+        node = make_conv_node(kernel=(1, 5), pads=(0, 2, 0, 2), with_bias=False)
+        conv_reference_check(impl_name, [x, w], node)
+
+    @pytest.mark.parametrize("impl_name", all_conv_impls())
+    def test_dilation_2(self, impl_name, rng):
+        x = rng.standard_normal((1, 2, 10, 10)).astype(np.float32)
+        w = rng.standard_normal((2, 2, 3, 3)).astype(np.float32)
+        node = make_conv_node(dilations=(2, 2), pads=(2, 2, 2, 2), with_bias=False)
+        conv_reference_check(impl_name, [x, w], node)
+
+    @pytest.mark.parametrize("impl_name", all_conv_impls())
+    def test_depthwise(self, impl_name, rng):
+        x = rng.standard_normal((1, 6, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((6, 1, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(6).astype(np.float32)
+        node = make_conv_node(group=6)
+        conv_reference_check(impl_name, [x, w, b], node)
+
+    @pytest.mark.parametrize("impl_name", all_conv_impls())
+    def test_grouped_not_depthwise(self, impl_name, rng):
+        x = rng.standard_normal((1, 8, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((4, 4, 3, 3)).astype(np.float32)
+        node = make_conv_node(group=2, with_bias=False)
+        conv_reference_check(impl_name, [x, w], node)
+
+    @pytest.mark.parametrize("impl_name", all_conv_impls())
+    def test_asymmetric_onnx_pads(self, impl_name, rng):
+        """ONNX pads allow begin != end."""
+        x = rng.standard_normal((1, 2, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((2, 2, 3, 3)).astype(np.float32)
+        node = make_conv_node(pads=(0, 1, 2, 1), with_bias=False)
+        conv_reference_check(impl_name, [x, w], node)
+
+    @pytest.mark.parametrize("impl_name", all_conv_impls())
+    def test_batch_greater_than_one(self, impl_name, rng):
+        x = rng.standard_normal((3, 2, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        node = make_conv_node(with_bias=False)
+        conv_reference_check(impl_name, [x, w], node)
+
+
+class TestFusedActivation:
+    @pytest.mark.parametrize("impl_name", all_conv_impls())
+    def test_fused_relu_clamps_negatives(self, impl_name, rng):
+        x = rng.standard_normal((1, 2, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((2, 2, 3, 3)).astype(np.float32)
+        plain = make_conv_node(with_bias=False)
+        fused = make_conv_node(with_bias=False,
+                               extra_attrs={"activation": "relu"})
+        base = run_impl(impl_name, [x, w], plain)
+        out = run_impl(impl_name, [x, w], fused)
+        np.testing.assert_allclose(out, np.maximum(base, 0), rtol=1e-5, atol=1e-5)
+        assert (out >= 0).all()
+
+    @pytest.mark.parametrize("impl_name", all_conv_impls())
+    def test_fused_relu6_clamps_both_sides(self, impl_name, rng):
+        x = (10 * rng.standard_normal((1, 2, 6, 6))).astype(np.float32)
+        w = rng.standard_normal((2, 2, 3, 3)).astype(np.float32)
+        fused = make_conv_node(with_bias=False,
+                               extra_attrs={"activation": "relu6"})
+        out = run_impl(impl_name, [x, w], fused)
+        assert (out >= 0).all() and (out <= 6).all()
+
+    def test_unknown_activation_rejected(self, rng):
+        x = rng.standard_normal((1, 1, 4, 4)).astype(np.float32)
+        w = rng.standard_normal((1, 1, 3, 3)).astype(np.float32)
+        node = make_conv_node(with_bias=False,
+                              extra_attrs={"activation": "gelu"})
+        with pytest.raises(ValueError, match="unknown fused activation"):
+            run_impl("im2col", [x, w], node)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    batch=st.integers(1, 2),
+    in_ch=st.integers(1, 4),
+    out_ch=st.integers(1, 4),
+    size=st.integers(4, 10),
+    kernel=st.sampled_from([1, 2, 3]),
+    stride=st.integers(1, 2),
+    pad=st.integers(0, 2),
+    impl_name=st.sampled_from(["im2col", "im2col_loops", "direct",
+                               "spatial_pack", "fft"]),
+)
+def test_conv_property_grid(batch, in_ch, out_ch, size, kernel, stride, pad,
+                            impl_name):
+    """Random geometry: vectorised kernels match the loop reference."""
+    rng = np.random.default_rng(batch * 1000 + size)
+    x = rng.standard_normal((batch, in_ch, size, size)).astype(np.float32)
+    w = rng.standard_normal((out_ch, in_ch, kernel, kernel)).astype(np.float32)
+    node = make_conv_node(
+        kernel=(kernel, kernel), strides=(stride, stride),
+        pads=(pad, pad, pad, pad), with_bias=False)
+    conv_reference_check(impl_name, [x, w], node)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    channels=st.integers(1, 6),
+    size=st.integers(5, 12),
+    stride=st.integers(1, 2),
+)
+def test_depthwise_property_grid(channels, size, stride):
+    rng = np.random.default_rng(channels * 31 + size)
+    x = rng.standard_normal((1, channels, size, size)).astype(np.float32)
+    w = rng.standard_normal((channels, 1, 3, 3)).astype(np.float32)
+    node = make_conv_node(strides=(stride, stride), group=channels,
+                          with_bias=False)
+    conv_reference_check("direct_dw", [x, w], node)
+    conv_reference_check("perchannel_gemm_dw", [x, w], node)

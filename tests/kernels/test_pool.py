@@ -1,0 +1,125 @@
+"""Pooling kernels: windows implementation vs loop reference, ONNX semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.node import Node
+from repro.kernels.context import ExecutionContext
+from repro.kernels.registry import REGISTRY
+
+
+def run_pool(op_type, impl, x, attrs):
+    node = Node(op_type, ["x"], ["y"], attrs)
+    return REGISTRY.get(op_type, impl).fn([x], node, ExecutionContext())[0]
+
+
+def pool_pair(op_type, x, attrs):
+    """All three implementations must agree: offsets, windows, loops."""
+    fast = run_pool(op_type, "offsets", x, attrs)
+    view = run_pool(op_type, "windows", x, attrs)
+    slow = run_pool(op_type, "loops", x, attrs)
+    assert fast.shape == view.shape == slow.shape
+    np.testing.assert_allclose(view, slow, rtol=1e-5, atol=1e-6)
+    np.testing.assert_allclose(fast, slow, rtol=1e-5, atol=1e-6)
+    return fast
+
+
+class TestMaxPool:
+    def test_2x2_stride2(self, rng):
+        x = rng.standard_normal((1, 2, 8, 8)).astype(np.float32)
+        out = pool_pair("MaxPool", x, {"kernel_shape": (2, 2), "strides": (2, 2)})
+        assert out.shape == (1, 2, 4, 4)
+        assert out[0, 0, 0, 0] == x[0, 0, :2, :2].max()
+
+    def test_3x3_stride2_padded(self, rng):
+        x = rng.standard_normal((1, 4, 7, 7)).astype(np.float32)
+        out = pool_pair("MaxPool", x, {
+            "kernel_shape": (3, 3), "strides": (2, 2), "pads": (1, 1, 1, 1)})
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_padding_never_wins(self):
+        # All-negative input: zero padding must NOT leak into the max.
+        x = -np.ones((1, 1, 4, 4), dtype=np.float32)
+        out = pool_pair("MaxPool", x, {
+            "kernel_shape": (3, 3), "strides": (1, 1), "pads": (1, 1, 1, 1)})
+        assert (out == -1).all()
+
+    def test_ceil_mode_adds_partial_window(self, rng):
+        x = rng.standard_normal((1, 1, 5, 5)).astype(np.float32)
+        floor = run_pool("MaxPool", "windows", x,
+                         {"kernel_shape": (2, 2), "strides": (2, 2)})
+        ceil = pool_pair("MaxPool", x, {
+            "kernel_shape": (2, 2), "strides": (2, 2), "ceil_mode": 1})
+        assert floor.shape == (1, 1, 2, 2)
+        assert ceil.shape == (1, 1, 3, 3)
+        assert ceil[0, 0, 2, 2] == x[0, 0, 4, 4]
+
+    def test_dilated(self, rng):
+        x = rng.standard_normal((1, 1, 8, 8)).astype(np.float32)
+        out = pool_pair("MaxPool", x, {
+            "kernel_shape": (2, 2), "strides": (1, 1), "dilations": (2, 2)})
+        assert out.shape == (1, 1, 6, 6)
+        assert out[0, 0, 0, 0] == max(
+            x[0, 0, 0, 0], x[0, 0, 0, 2], x[0, 0, 2, 0], x[0, 0, 2, 2])
+
+
+class TestAveragePool:
+    def test_basic(self, rng):
+        x = rng.standard_normal((1, 2, 6, 6)).astype(np.float32)
+        out = pool_pair("AveragePool", x, {"kernel_shape": (2, 2), "strides": (2, 2)})
+        np.testing.assert_allclose(out[0, 0, 0, 0], x[0, 0, :2, :2].mean(),
+                                   rtol=1e-6)
+
+    def test_count_include_pad_false_divides_by_valid(self):
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        out = pool_pair("AveragePool", x, {
+            "kernel_shape": (3, 3), "strides": (1, 1), "pads": (1, 1, 1, 1),
+            "count_include_pad": 0})
+        # Corner window covers 4 real pixels of value 1 -> average exactly 1.
+        assert out[0, 0, 0, 0] == pytest.approx(1.0)
+
+    def test_count_include_pad_true_divides_by_kernel(self):
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        out = pool_pair("AveragePool", x, {
+            "kernel_shape": (3, 3), "strides": (1, 1), "pads": (1, 1, 1, 1),
+            "count_include_pad": 1})
+        assert out[0, 0, 0, 0] == pytest.approx(4.0 / 9.0)
+
+    def test_inception_style_same_pool(self, rng):
+        x = rng.standard_normal((1, 3, 9, 9)).astype(np.float32)
+        out = pool_pair("AveragePool", x, {
+            "kernel_shape": (3, 3), "strides": (1, 1), "pads": (1, 1, 1, 1),
+            "count_include_pad": 0})
+        assert out.shape == x.shape
+
+
+class TestGlobalAveragePool:
+    def test_matches_mean(self, rng):
+        x = rng.standard_normal((2, 5, 7, 3)).astype(np.float32)
+        node = Node("GlobalAveragePool", ["x"], ["y"])
+        out = REGISTRY.get("GlobalAveragePool", "default").fn(
+            [x], node, ExecutionContext())[0]
+        assert out.shape == (2, 5, 1, 1)
+        np.testing.assert_allclose(
+            out[:, :, 0, 0], x.mean(axis=(2, 3)), rtol=1e-5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    size=st.integers(4, 10),
+    kernel=st.integers(1, 3),
+    stride=st.integers(1, 3),
+    pad=st.integers(0, 1),
+    ceil_mode=st.booleans(),
+    op=st.sampled_from(["MaxPool", "AveragePool"]),
+)
+def test_pool_property_windows_vs_loops(size, kernel, stride, pad, ceil_mode, op):
+    if pad > kernel // 2:  # ONNX requires pads < kernel
+        pad = kernel // 2
+    rng = np.random.default_rng(size * 17 + kernel)
+    x = rng.standard_normal((1, 2, size, size)).astype(np.float32)
+    attrs = {"kernel_shape": (kernel, kernel), "strides": (stride, stride),
+             "pads": (pad, pad, pad, pad), "ceil_mode": int(ceil_mode)}
+    pool_pair(op, x, attrs)

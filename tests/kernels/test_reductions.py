@@ -1,0 +1,130 @@
+"""Reductions, ArgMax, LayerNorm/GroupNorm, Gelu, GlobalMaxPool."""
+
+import numpy as np
+import pytest
+
+from repro.ir.node import Node
+from repro.kernels.context import ExecutionContext
+from repro.kernels.registry import REGISTRY
+
+
+def run(op_type, inputs, attrs=None):
+    names = [f"i{k}" for k in range(len(inputs))]
+    node = Node(op_type, names, ["y"], attrs)
+    return REGISTRY.get(op_type, "default").fn(
+        list(inputs), node, ExecutionContext())[0]
+
+
+class TestReductions:
+    @pytest.mark.parametrize("op,fn", [
+        ("ReduceSum", np.sum), ("ReduceMax", np.max), ("ReduceMin", np.min),
+    ])
+    def test_matches_numpy(self, op, fn, rng):
+        x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        out = run(op, [x], {"axes": (1,)})
+        np.testing.assert_allclose(out, fn(x, axis=1, keepdims=True),
+                                   rtol=1e-6)
+
+    def test_no_keepdims(self, rng):
+        x = rng.standard_normal((2, 3)).astype(np.float32)
+        assert run("ReduceSum", [x], {"axes": (0,), "keepdims": 0}).shape == (3,)
+
+    def test_all_axes_default(self, rng):
+        x = rng.standard_normal((2, 3)).astype(np.float32)
+        out = run("ReduceMax", [x])
+        assert out.shape == (1, 1)
+        assert out[0, 0] == x.max()
+
+    def test_negative_axes(self, rng):
+        x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        out = run("ReduceSum", [x], {"axes": (-1,)})
+        assert out.shape == (2, 3, 1)
+
+
+class TestArgMax:
+    def test_values_and_dtype(self):
+        x = np.array([[1.0, 5.0, 2.0], [7.0, 0.0, 3.0]], np.float32)
+        out = run("ArgMax", [x], {"axis": 1, "keepdims": 0})
+        np.testing.assert_array_equal(out, [1, 0])
+        assert out.dtype == np.int64
+
+    def test_keepdims(self, rng):
+        x = rng.standard_normal((2, 5)).astype(np.float32)
+        assert run("ArgMax", [x], {"axis": 1}).shape == (2, 1)
+
+
+class TestGlobalMaxPool:
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal((2, 3, 5, 7)).astype(np.float32)
+        out = run("GlobalMaxPool", [x])
+        assert out.shape == (2, 3, 1, 1)
+        np.testing.assert_array_equal(out[:, :, 0, 0], x.max(axis=(2, 3)))
+
+
+class TestLayerNorm:
+    def test_zero_mean_unit_var(self, rng):
+        x = rng.standard_normal((4, 16)).astype(np.float32)
+        scale = np.ones(16, np.float32)
+        bias = np.zeros(16, np.float32)
+        out = run("LayerNormalization", [x, scale, bias])
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_scale_bias_applied(self, rng):
+        x = rng.standard_normal((2, 8)).astype(np.float32)
+        scale = np.full(8, 2.0, np.float32)
+        bias = np.full(8, 3.0, np.float32)
+        plain = run("LayerNormalization",
+                    [x, np.ones(8, np.float32), np.zeros(8, np.float32)])
+        scaled = run("LayerNormalization", [x, scale, bias])
+        np.testing.assert_allclose(scaled, plain * 2.0 + 3.0, rtol=1e-5)
+
+    def test_axis_attribute(self, rng):
+        x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        scale = np.ones((3, 4), np.float32)
+        out = run("LayerNormalization", [x, scale], {"axis": 1})
+        np.testing.assert_allclose(out.mean(axis=(1, 2)), 0.0, atol=1e-5)
+
+
+class TestGroupNorm:
+    def test_group_statistics(self, rng):
+        x = rng.standard_normal((2, 8, 4, 4)).astype(np.float32)
+        scale = np.ones(8, np.float32)
+        bias = np.zeros(8, np.float32)
+        out = run("GroupNormalization", [x, scale, bias], {"num_groups": 2})
+        grouped = out.reshape(2, 2, 4, 4, 4)
+        np.testing.assert_allclose(grouped.mean(axis=(2, 3, 4)), 0.0,
+                                   atol=1e-5)
+
+    def test_instance_norm_limit(self, rng):
+        """num_groups == channels reduces to InstanceNorm."""
+        x = rng.standard_normal((1, 4, 6, 6)).astype(np.float32)
+        out = run("GroupNormalization",
+                  [x, np.ones(4, np.float32), np.zeros(4, np.float32)],
+                  {"num_groups": 4})
+        np.testing.assert_allclose(out.mean(axis=(2, 3)), 0.0, atol=1e-5)
+
+
+class TestGelu:
+    def test_exact_known_values(self):
+        x = np.array([0.0, 1.0, -1.0], np.float32)
+        out = run("Gelu", [x])
+        np.testing.assert_allclose(out, [0.0, 0.841345, -0.158655],
+                                   atol=1e-4)
+
+    def test_tanh_approximation_close(self, rng):
+        x = rng.standard_normal(100).astype(np.float32)
+        exact = run("Gelu", [x])
+        approx = run("Gelu", [x], {"approximate": "tanh"})
+        np.testing.assert_allclose(exact, approx, atol=5e-3)
+
+    def test_in_graph(self, rng):
+        from repro.ir.builder import GraphBuilder
+        from repro.runtime.session import InferenceSession
+        builder = GraphBuilder()
+        x = builder.input("input", (1, 8))
+        builder.output(builder.node("Gelu", [x]))
+        graph = builder.finish()
+        out = InferenceSession(graph).run(
+            {"input": rng.standard_normal((1, 8)).astype(np.float32)})
+        assert next(iter(out.values())).shape == (1, 8)

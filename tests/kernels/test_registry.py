@@ -1,0 +1,104 @@
+"""Kernel registry: registration, selection policy, applicability."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.ir.node import Node
+from repro.kernels.registry import REGISTRY, KernelImpl, KernelRegistry
+
+
+def dummy_kernel(inputs, node, ctx):
+    return [inputs[0]]
+
+
+def make_impl(op="Op", name="a", priority=0, applicable=None,
+              experimental=False):
+    return KernelImpl(op_type=op, name=name, fn=dummy_kernel,
+                      priority=priority, applicable=applicable,
+                      experimental=experimental)
+
+
+@pytest.fixture
+def registry():
+    reg = KernelRegistry()
+    reg.register(make_impl(name="low", priority=1))
+    reg.register(make_impl(name="high", priority=10))
+    reg.register(make_impl(name="picky", priority=100,
+                           applicable=lambda node, shapes: False))
+    reg.register(make_impl(name="hidden", priority=1000, experimental=True))
+    return reg
+
+
+def node():
+    return Node("Op", ["x"], ["y"])
+
+
+class TestRegistration:
+    def test_duplicate_rejected(self, registry):
+        with pytest.raises(KernelError, match="registered twice"):
+            registry.register(make_impl(name="low"))
+
+    def test_unregister(self, registry):
+        registry.unregister("Op", "low")
+        with pytest.raises(KernelError):
+            registry.get("Op", "low")
+
+    def test_unregister_missing_rejected(self, registry):
+        with pytest.raises(KernelError, match="not registered"):
+            registry.unregister("Op", "ghost")
+
+    def test_get_unknown_lists_available(self, registry):
+        with pytest.raises(KernelError, match="high"):
+            registry.get("Op", "nope")
+
+
+class TestSelection:
+    def test_priority_order(self, registry):
+        assert registry.select(node(), [(1,)]).name == "high"
+
+    def test_preference_wins_over_priority(self, registry):
+        assert registry.select(node(), [(1,)], preferences=["low"]).name == "low"
+
+    def test_inapplicable_preference_falls_through(self, registry):
+        impl = registry.select(node(), [(1,)], preferences=["picky", "low"])
+        assert impl.name == "low"
+
+    def test_experimental_excluded_by_default(self, registry):
+        assert registry.select(node(), [(1,)]).name != "hidden"
+
+    def test_experimental_selectable_by_name(self, registry):
+        assert registry.select(node(), [(1,)],
+                               preferences=["hidden"]).name == "hidden"
+
+    def test_no_kernels_for_op(self, registry):
+        with pytest.raises(KernelError, match="no kernels registered"):
+            registry.select(Node("Other", ["x"], ["y"]), [(1,)])
+
+    def test_all_inapplicable(self):
+        reg = KernelRegistry()
+        reg.register(make_impl(applicable=lambda n, s: False))
+        with pytest.raises(KernelError, match="no applicable kernel"):
+            reg.select(node(), [(1,)])
+
+    def test_candidates_sorted_by_priority(self, registry):
+        names = [impl.name for impl in registry.candidates(node(), [(1,)])]
+        assert names == ["high", "low"]
+
+    def test_candidates_with_experimental(self, registry):
+        names = [impl.name
+                 for impl in registry.candidates(node(), [(1,)],
+                                                 include_experimental=True)]
+        assert names[0] == "hidden"
+
+
+class TestGlobalRegistry:
+    def test_conv_has_many_implementations(self):
+        names = {impl.name for impl in REGISTRY.implementations("Conv")}
+        assert {"im2col", "direct", "spatial_pack", "winograd",
+                "direct_dw", "reference"} <= names
+
+    def test_every_supported_op_has_a_kernel(self):
+        from repro.ir.shape_inference import supported_ops
+        missing = [op for op in supported_ops()
+                   if not REGISTRY.implementations(op)]
+        assert missing == []

@@ -1,0 +1,129 @@
+"""Data-movement kernels: reshape/flatten/transpose/concat/pad/etc."""
+
+import numpy as np
+import pytest
+
+from repro.ir.node import Node
+from repro.kernels.context import ExecutionContext
+from repro.kernels.registry import REGISTRY
+
+
+def run(op_type, inputs, attrs=None, num_outputs=1):
+    names = [f"i{k}" for k in range(len(inputs))]
+    node = Node(op_type, names, [f"y{k}" for k in range(num_outputs)], attrs)
+    outs = REGISTRY.get(op_type, "default").fn(
+        list(inputs), node, ExecutionContext())
+    return outs[0] if num_outputs == 1 else outs
+
+
+class TestIdentityDropout:
+    def test_identity_returns_input(self, rng):
+        x = rng.standard_normal((2, 3))
+        assert run("Identity", [x]) is x
+
+    def test_dropout_is_identity_at_inference(self, rng):
+        x = rng.standard_normal((2, 3)).astype(np.float32)
+        np.testing.assert_array_equal(run("Dropout", [x], {"ratio": 0.9}), x)
+
+    def test_dropout_mask_output_all_true(self, rng):
+        x = rng.standard_normal((2, 3)).astype(np.float32)
+        out, mask = run("Dropout", [x], num_outputs=2)
+        assert mask.dtype == bool
+        assert mask.all()
+
+
+class TestReshapeFamily:
+    def test_flatten(self, rng):
+        x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        assert run("Flatten", [x]).shape == (2, 12)
+        assert run("Flatten", [x], {"axis": 2}).shape == (6, 4)
+
+    def test_reshape_from_input_tensor(self, rng):
+        x = rng.standard_normal((2, 6)).astype(np.float32)
+        out = run("Reshape", [x, np.array([3, 4], np.int64)])
+        assert out.shape == (3, 4)
+
+    def test_reshape_zero_keeps_dim(self, rng):
+        x = rng.standard_normal((2, 6)).astype(np.float32)
+        out = run("Reshape", [x, np.array([0, -1], np.int64)])
+        assert out.shape == (2, 6)
+
+    def test_transpose(self, rng):
+        x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        assert run("Transpose", [x]).shape == (4, 3, 2)
+        out = run("Transpose", [x], {"perm": (1, 0, 2)})
+        np.testing.assert_array_equal(out, x.transpose(1, 0, 2))
+
+    def test_squeeze_unsqueeze_roundtrip(self, rng):
+        x = rng.standard_normal((2, 3)).astype(np.float32)
+        up = run("Unsqueeze", [x], {"axes": (0, 3)})
+        assert up.shape == (1, 2, 3, 1)
+        down = run("Squeeze", [up], {"axes": (0, 3)})
+        np.testing.assert_array_equal(down, x)
+
+    def test_squeeze_via_input_axes(self, rng):
+        x = rng.standard_normal((1, 4, 1)).astype(np.float32)
+        out = run("Squeeze", [x, np.array([0], np.int64)])
+        assert out.shape == (4, 1)
+
+
+class TestConcatPad:
+    def test_concat_channels(self, rng):
+        a = rng.standard_normal((1, 2, 3, 3)).astype(np.float32)
+        b = rng.standard_normal((1, 5, 3, 3)).astype(np.float32)
+        out = run("Concat", [a, b], {"axis": 1})
+        assert out.shape == (1, 7, 3, 3)
+        np.testing.assert_array_equal(out[:, :2], a)
+
+    def test_pad_constant_value(self):
+        x = np.ones((1, 1, 2, 2), np.float32)
+        out = run("Pad", [x], {"pads": (0, 0, 1, 1, 0, 0, 1, 1), "value": 7.0})
+        assert out.shape == (1, 1, 4, 4)
+        assert out[0, 0, 0, 0] == 7.0
+        assert out[0, 0, 1, 1] == 1.0
+
+    def test_pad_amounts_from_input(self):
+        x = np.ones((2, 2), np.float32)
+        pads = np.array([1, 0, 0, 1], np.int64)
+        out = run("Pad", [x, pads])
+        assert out.shape == (3, 3)
+
+    def test_pad_reflect(self):
+        x = np.array([[1.0, 2.0, 3.0]], np.float32)
+        out = run("Pad", [x], {"pads": (0, 1, 0, 1), "mode": "reflect"})
+        np.testing.assert_array_equal(out, [[2.0, 1.0, 2.0, 3.0, 2.0]])
+
+    def test_pad_edge(self):
+        x = np.array([[1.0, 2.0]], np.float32)
+        out = run("Pad", [x], {"pads": (0, 1, 0, 1), "mode": "edge"})
+        np.testing.assert_array_equal(out, [[1.0, 1.0, 2.0, 2.0]])
+
+    def test_pad_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unsupported Pad mode"):
+            run("Pad", [np.ones((1, 1), np.float32)],
+                {"pads": (0, 0, 0, 0), "mode": "wrap"})
+
+
+class TestReduceConstantShape:
+    def test_reduce_mean(self, rng):
+        x = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        out = run("ReduceMean", [x], {"axes": (2,)})
+        np.testing.assert_allclose(out, x.mean(axis=2, keepdims=True),
+                                   rtol=1e-6)
+
+    def test_reduce_mean_no_keepdims(self, rng):
+        x = rng.standard_normal((2, 3)).astype(np.float32)
+        out = run("ReduceMean", [x], {"axes": (0,), "keepdims": 0})
+        assert out.shape == (3,)
+
+    def test_constant(self):
+        value = np.arange(6, dtype=np.float32).reshape(2, 3)
+        node = Node("Constant", [], ["y"], {"value": value})
+        out = REGISTRY.get("Constant", "default").fn([], node, ExecutionContext())[0]
+        np.testing.assert_array_equal(out, value)
+
+    def test_shape_op(self, rng):
+        x = rng.standard_normal((2, 3, 4))
+        out = run("Shape", [x])
+        np.testing.assert_array_equal(out, [2, 3, 4])
+        assert out.dtype == np.int64

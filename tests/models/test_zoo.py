@@ -1,0 +1,149 @@
+"""Model zoo: registry, architecture shapes, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelZooError
+from repro.ir.shape_inference import infer_shapes
+from repro.models import (
+    FIGURE2_MODELS,
+    build,
+    build_resnet,
+    build_wrn,
+    get_entry,
+    input_shape,
+    list_models,
+)
+from repro.runtime.session import InferenceSession
+
+
+class TestRegistry:
+    def test_figure2_models_all_registered(self):
+        registered = {e.name for e in list_models()}
+        assert set(FIGURE2_MODELS) <= registered
+
+    def test_figure2_excludes_extra_zoo_models(self):
+        # squeezenet is a zoo extension, not part of the paper's figure.
+        assert "squeezenet" in {e.name for e in list_models()}
+        assert "squeezenet" not in FIGURE2_MODELS
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ModelZooError, match="unknown model"):
+            build("alexnet")
+
+    def test_input_shape(self):
+        assert input_shape("mobilenet-v1") == (1, 3, 224, 224)
+        assert input_shape("wrn-40-2", batch=4) == (4, 3, 32, 32)
+        assert input_shape("inception-v3") == (1, 3, 299, 299)
+
+    def test_entries_have_descriptions(self):
+        for entry in list_models():
+            assert entry.description
+
+
+class TestArchitectures:
+    """Structural checks at reduced image size (fast)."""
+
+    @pytest.mark.parametrize("name,size", [
+        ("wrn-40-2", 32), ("mobilenet-v1", 64), ("resnet18", 64),
+        ("resnet50", 64), ("inception-v3", 128), ("squeezenet", 64),
+    ])
+    def test_builds_validates_and_runs(self, name, size, rng):
+        graph = build(name, image_size=size)
+        graph.validate()
+        x = rng.standard_normal((1, 3, size, size)).astype(np.float32)
+        out = InferenceSession(graph).run({"input": x})["output"]
+        classes = get_entry(name).num_classes
+        assert out.shape == (1, classes)
+        np.testing.assert_allclose(out.sum(), 1.0, rtol=1e-4)
+
+    def test_wrn_depth_structure(self):
+        graph = build_wrn(depth=40, widen=2, image_size=32)
+        # 1 stem + 36 block convs + 6 projection shortcuts + 0 fc convs
+        convs = graph.nodes_by_type("Conv")
+        assert len(convs) == 1 + 36 + 3  # three stages change width/stride
+        assert len(graph.nodes_by_type("BatchNormalization")) == 37
+
+    def test_wrn_bad_depth_rejected(self):
+        with pytest.raises(ModelZooError, match="6n\\+4"):
+            build_wrn(depth=41)
+
+    def test_mobilenet_depthwise_count(self):
+        graph = build("mobilenet-v1", image_size=64)
+        depthwise = [n for n in graph.nodes_by_type("Conv")
+                     if n.attrs.get_int("group", 1) > 1]
+        assert len(depthwise) == 13
+
+    def test_mobilenet_width_multiplier(self):
+        graph = build("mobilenet-v1", image_size=64, width_multiplier=0.5)
+        values = infer_shapes(graph)
+        channel_counts = {shape[1] for name, (shape, _d) in values.items()
+                          if len(shape) == 4}
+        assert 512 in channel_counts  # 1024 * 0.5
+        assert 1024 not in channel_counts
+
+    def test_resnet18_vs_50_node_counts(self):
+        r18 = build("resnet18", image_size=64)
+        r50 = build("resnet50", image_size=64)
+        assert len(r50.nodes_by_type("Conv")) > len(r18.nodes_by_type("Conv"))
+        # Bottlenecks: 1x1 convs dominate ResNet-50.
+        ones = [n for n in r50.nodes_by_type("Conv")
+                if tuple(n.attrs.get_ints("kernel_shape")) == (1, 1)]
+        assert len(ones) > len(r50.nodes_by_type("Conv")) / 2
+
+    def test_resnet_unsupported_depth(self):
+        with pytest.raises(ModelZooError, match="depth"):
+            build_resnet(depth=99)
+
+    def test_inception_has_concats_and_asymmetric_kernels(self):
+        graph = build("inception-v3", image_size=128)
+        assert len(graph.nodes_by_type("Concat")) >= 11
+        kernels = {tuple(n.attrs.get_ints("kernel_shape"))
+                   for n in graph.nodes_by_type("Conv")}
+        assert (1, 7) in kernels and (7, 1) in kernels
+
+    def test_squeezenet_structure(self):
+        graph = build("squeezenet", image_size=64)
+        assert len(graph.nodes_by_type("Concat")) == 8  # one per fire module
+        assert graph.nodes_by_type("BatchNormalization") == []
+        assert graph.nodes_by_type("Gemm") == []  # 1x1-conv classifier
+
+    def test_parameter_counts_match_literature(self):
+        published = {
+            "squeezenet": 1.24e6,
+            "wrn-40-2": 2.2e6,
+            "mobilenet-v1": 4.2e6,
+            "resnet18": 11.7e6,
+            "resnet50": 25.6e6,
+            "inception-v3": 23.8e6,
+        }
+        for name, expected in published.items():
+            params = build(name).num_parameters()
+            assert params == pytest.approx(expected, rel=0.05), name
+
+
+class TestDeterminism:
+    def test_same_seed_identical_outputs(self, rng):
+        x = rng.standard_normal((1, 3, 32, 32)).astype(np.float32)
+        a = InferenceSession(build("wrn-40-2", seed=3)).run({"input": x})
+        b = InferenceSession(build("wrn-40-2", seed=3)).run({"input": x})
+        np.testing.assert_array_equal(a["output"], b["output"])
+
+    def test_different_seed_different_outputs(self, rng):
+        x = rng.standard_normal((1, 3, 32, 32)).astype(np.float32)
+        a = InferenceSession(build("wrn-40-2", seed=3)).run({"input": x})
+        b = InferenceSession(build("wrn-40-2", seed=4)).run({"input": x})
+        assert not np.array_equal(a["output"], b["output"])
+
+    def test_no_softmax_option(self, rng):
+        graph = build("wrn-40-2", softmax=False)
+        assert graph.nodes_by_type("Softmax") == []
+        x = rng.standard_normal((1, 3, 32, 32)).astype(np.float32)
+        logits = InferenceSession(graph).run({"input": x})["output"]
+        assert not np.allclose(logits.sum(), 1.0)
+
+    def test_batch_dimension(self, rng):
+        graph = build("wrn-40-2", batch=3)
+        x = rng.standard_normal((3, 3, 32, 32)).astype(np.float32)
+        out = InferenceSession(graph).run({"input": x})["output"]
+        assert out.shape == (3, 10)

@@ -1,0 +1,87 @@
+"""Parser robustness: malformed bytes must fail with framework errors.
+
+An edge runtime ingests model files from outside its trust boundary; the
+importer must reject garbage with a catchable `OnnxError` (or subclass) —
+never an IndexError/struct.error/segfault-by-another-name — and must never
+loop or allocate unboundedly on truncated input.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OrpheusError
+from repro.onnx import load_model_bytes, save_model_bytes
+from repro.onnx.schema import ModelProto, TensorProto
+from tests.conftest import tiny_classifier
+
+_ACCEPTABLE = (OrpheusError, UnicodeDecodeError)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.binary(min_size=0, max_size=300))
+def test_random_bytes_never_crash(data):
+    """Arbitrary bytes: parse cleanly or raise a framework error."""
+    try:
+        load_model_bytes(data)
+    except _ACCEPTABLE:
+        pass
+    # Anything else (IndexError, struct.error, MemoryError...) fails the test.
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_truncated_valid_model_never_crashes(data):
+    """Prefixes of a real model: the hard case for length-delimited formats."""
+    real = save_model_bytes(tiny_classifier())
+    cut = data.draw(st.integers(0, len(real) - 1))
+    try:
+        load_model_bytes(real[:cut])
+    except _ACCEPTABLE:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_bitflipped_model_never_crashes(data):
+    real = bytearray(save_model_bytes(tiny_classifier()))
+    position = data.draw(st.integers(0, len(real) - 1))
+    bit = data.draw(st.integers(0, 7))
+    real[position] ^= 1 << bit
+    try:
+        load_model_bytes(bytes(real))
+    except _ACCEPTABLE:
+        pass
+
+
+class TestSpecificCorruptions:
+    def test_oversized_length_prefix_rejected(self):
+        from repro.onnx.wire import LENGTH_DELIMITED, encode_tag, encode_varint
+        # graph field claiming 2^40 bytes of payload.
+        data = encode_tag(7, LENGTH_DELIMITED) + encode_varint(1 << 40)
+        with pytest.raises(OrpheusError):
+            load_model_bytes(data)
+
+    def test_tensor_dims_overflow_rejected(self):
+        """Dims far exceeding the payload must not allocate."""
+        tensor = TensorProto(name="w", dims=(1 << 30, 1 << 30),
+                             data_type=1, raw_data=b"\x00" * 4)
+        from repro.errors import OnnxError
+        with pytest.raises(OnnxError, match="elements"):
+            tensor.to_numpy()
+
+    def test_empty_bytes_is_model_without_graph(self):
+        from repro.errors import OnnxError
+        with pytest.raises(OnnxError, match="no graph"):
+            load_model_bytes(b"")
+
+    def test_fuzz_findings_stay_fixed_point(self):
+        """Round-trip stability: parse(serialize(parse(x))) == parse(x)."""
+        original = save_model_bytes(tiny_classifier())
+        model = ModelProto.parse(original)
+        again = ModelProto.parse(model.serialize())
+        assert again.graph.name == model.graph.name
+        assert len(again.graph.node) == len(model.graph.node)
+        for a, b in zip(again.graph.initializer, model.graph.initializer):
+            np.testing.assert_array_equal(a.to_numpy(), b.to_numpy())

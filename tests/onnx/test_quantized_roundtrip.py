@@ -1,0 +1,52 @@
+"""Quantized graphs survive the ONNX boundary.
+
+QLinearConv / QuantizeLinear / DequantizeLinear are standard ONNX ops and
+int8/uint8/int32 initializers are standard tensor types, so a quantized
+graph must export and re-import losslessly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import calibration_batches, model_input
+from repro.models import zoo
+from repro.onnx import load_model_bytes, save_model_bytes
+from repro.passes import default_pipeline
+from repro.quant import calibrate, quantize_graph
+from repro.runtime.session import InferenceSession
+
+
+@pytest.fixture(scope="module")
+def quantized_graph():
+    # fuse=False: the fused `activation` attribute is framework-internal
+    # and must not leak into ONNX files.
+    graph = default_pipeline(fuse=False).run(
+        zoo.build("wrn-40-2", image_size=16))
+    batches = [{"input": b} for b in calibration_batches(
+        "wrn-40-2", count=2, image_size=16)]
+    qgraph, report = quantize_graph(graph, calibrate(graph, batches))
+    assert report.converted_convs > 0
+    return qgraph
+
+
+class TestQuantizedOnnxRoundtrip:
+    def test_structure_survives(self, quantized_graph):
+        back = load_model_bytes(save_model_bytes(quantized_graph))
+        assert back.op_histogram() == quantized_graph.op_histogram()
+
+    def test_int_initializers_bit_identical(self, quantized_graph):
+        back = load_model_bytes(save_model_bytes(quantized_graph))
+        for name, array in quantized_graph.initializers.items():
+            restored = back.initializers[name]
+            assert restored.dtype == array.dtype
+            np.testing.assert_array_equal(restored, array)
+
+    def test_outputs_bit_identical(self, quantized_graph):
+        """Integer arithmetic: the roundtrip must be *exact*, not approximate."""
+        back = load_model_bytes(save_model_bytes(quantized_graph))
+        x = model_input("wrn-40-2", image_size=16, seed=5)
+        original = InferenceSession(
+            quantized_graph, optimize=False).run({"input": x})
+        restored = InferenceSession(back, optimize=False).run({"input": x})
+        for key in original:
+            np.testing.assert_array_equal(original[key], restored[key])

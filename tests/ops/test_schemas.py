@@ -1,0 +1,85 @@
+"""Operator schemas: arity and attribute validation."""
+
+import pytest
+
+from repro.errors import AttributeError_, UnsupportedOpError
+from repro.ir.node import Node
+from repro.ops import get_schema, has_schema, schema_names, validate_node
+
+
+class TestCatalogCoverage:
+    def test_every_shape_inferable_op_has_a_schema(self):
+        import repro.quant  # noqa: F401  (register quant op shape fns)
+        from repro.ir.shape_inference import supported_ops
+        missing = [op for op in supported_ops() if not has_schema(op)]
+        assert missing == []
+
+    def test_schema_names_sorted(self):
+        names = schema_names()
+        assert names == sorted(names)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(UnsupportedOpError, match="no schema"):
+            get_schema("Quux")
+
+
+class TestArity:
+    def test_conv_accepts_two_or_three_inputs(self):
+        validate_node(Node("Conv", ["x", "w"], ["y"],
+                           {"kernel_shape": (3, 3)}))
+        validate_node(Node("Conv", ["x", "w", "b"], ["y"],
+                           {"kernel_shape": (3, 3)}))
+
+    def test_conv_rejects_one_input(self):
+        with pytest.raises(UnsupportedOpError, match="inputs"):
+            validate_node(Node("Conv", ["x"], ["y"], {"kernel_shape": (3, 3)}))
+
+    def test_bn_requires_five_inputs(self):
+        with pytest.raises(UnsupportedOpError, match="inputs"):
+            validate_node(Node("BatchNormalization", ["x", "s"], ["y"]))
+
+    def test_dropout_allows_mask_output(self):
+        validate_node(Node("Dropout", ["x"], ["y", "mask"]))
+
+    def test_relu_rejects_two_outputs(self):
+        with pytest.raises(UnsupportedOpError, match="outputs"):
+            validate_node(Node("Relu", ["x"], ["y", "z"]))
+
+
+class TestAttributes:
+    def test_required_attribute_enforced(self):
+        with pytest.raises(AttributeError_, match="missing required"):
+            validate_node(Node("Concat", ["a", "b"], ["y"]))
+
+    def test_unexpected_attribute_rejected_with_suggestion(self):
+        node = Node("Conv", ["x", "w"], ["y"],
+                    {"kernel_shape": (3, 3), "stride": (1, 1)})
+        with pytest.raises(AttributeError_, match="did you mean 'strides'"):
+            validate_node(node)
+
+    def test_internal_activation_attribute_tolerated(self):
+        validate_node(Node("Conv", ["x", "w"], ["y"],
+                           {"kernel_shape": (3, 3), "activation": "relu"}))
+
+    def test_lrn_requires_size(self):
+        with pytest.raises(AttributeError_, match="size"):
+            validate_node(Node("LRN", ["x"], ["y"], {"alpha": 0.1}))
+
+    def test_constant_requires_value(self):
+        import numpy as np
+        with pytest.raises(AttributeError_, match="value"):
+            validate_node(Node("Constant", [], ["y"]))
+        validate_node(Node("Constant", [], ["y"],
+                           {"value": np.zeros(1, np.float32)}))
+
+
+class TestModelsValidate:
+    def test_all_zoo_models_pass_schema_validation(self):
+        from repro.models import zoo
+        from repro.ops import validate_graph_nodes
+        # Small-but-buildable resolutions (Inception's stem needs >= ~96 px).
+        sizes = {"wrn-40-2": 32, "mobilenet-v1": 64, "resnet18": 64,
+                 "resnet50": 64, "inception-v3": 128, "squeezenet": 64}
+        for entry in zoo.list_models():
+            graph = zoo.build(entry.name, image_size=sizes[entry.name])
+            validate_graph_nodes(graph.nodes)

@@ -1,0 +1,124 @@
+"""Common-subexpression elimination."""
+
+import numpy as np
+import pytest
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph, ValueInfo
+from repro.ir.node import Node
+from repro.passes import CommonSubexpressionElimination
+from repro.runtime.session import InferenceSession
+
+
+def run_both(before: Graph, after: Graph, shape):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(shape).astype(np.float32)
+    a = InferenceSession(before, optimize=False).run({"input": x})
+    b = InferenceSession(after, optimize=False).run({"input": x})
+    for key in a:
+        np.testing.assert_allclose(a[key], b[key], rtol=1e-6)
+
+
+class TestCse:
+    def test_duplicate_relu_merged(self):
+        builder = GraphBuilder()
+        x = builder.input("input", (1, 4))
+        a = builder.relu(x)
+        b = builder.relu(x)  # identical computation
+        builder.output(builder.add(a, b))
+        graph = builder.finish()
+        before = graph.copy()
+        assert CommonSubexpressionElimination().apply(graph) == 1
+        graph.validate()
+        assert len(graph.nodes_by_type("Relu")) == 1
+        run_both(before, graph, (1, 4))
+
+    def test_chain_of_duplicates_merged_transitively(self):
+        builder = GraphBuilder()
+        x = builder.input("input", (1, 4))
+        a1 = builder.relu(x)
+        a2 = builder.relu(x)
+        b1 = builder.sigmoid(a1)
+        b2 = builder.sigmoid(a2)  # duplicate only after relu merge
+        builder.output(builder.add(b1, b2))
+        graph = builder.finish()
+        before = graph.copy()
+        assert CommonSubexpressionElimination().apply(graph) == 2
+        assert len(graph.nodes) == 3  # relu, sigmoid, add
+        run_both(before, graph, (1, 4))
+
+    def test_different_attrs_not_merged(self):
+        builder = GraphBuilder()
+        x = builder.input("input", (1, 4))
+        a = builder.softmax(x, axis=0)
+        b = builder.softmax(x, axis=1)
+        builder.output(builder.add(a, b))
+        graph = builder.finish()
+        assert CommonSubexpressionElimination().apply(graph) == 0
+
+    def test_different_inputs_not_merged(self):
+        builder = GraphBuilder()
+        x = builder.input("input", (1, 4))
+        a = builder.relu(x)
+        b = builder.sigmoid(x)
+        builder.output(builder.add(builder.relu(a), builder.relu(b)))
+        graph = builder.finish()
+        assert CommonSubexpressionElimination().apply(graph) == 0
+
+    def test_duplicate_convs_with_shared_weights_merged(self):
+        builder = GraphBuilder(seed=0)
+        x = builder.input("input", (1, 3, 6, 6))
+        w = builder.weight((4, 3, 3, 3))
+        a = builder.node("Conv", [x, w], {"kernel_shape": (3, 3),
+                                          "pads": (1, 1, 1, 1)})
+        b = builder.node("Conv", [x, w], {"kernel_shape": (3, 3),
+                                          "pads": (1, 1, 1, 1)})
+        builder.output(builder.add(a, b))
+        graph = builder.finish()
+        before = graph.copy()
+        assert CommonSubexpressionElimination().apply(graph) == 1
+        run_both(before, graph, (1, 3, 6, 6))
+
+    def test_graph_output_duplicate_keeps_interface(self):
+        graph = Graph(
+            inputs=[ValueInfo("input", (1, 4))],
+            outputs=[ValueInfo("out", (1, 4))],
+            nodes=[
+                Node("Relu", ["input"], ["tmp"], name="r1"),
+                Node("Relu", ["input"], ["out"], name="r2"),
+                Node("Sigmoid", ["tmp"], ["unused"], name="s"),
+            ],
+        )
+        count = CommonSubexpressionElimination().apply(graph)
+        assert count == 1
+        graph.validate()
+        assert graph.output_names == ["out"]
+        # The survivor produces `out`; the sigmoid now reads it.
+        assert graph.nodes_by_type("Sigmoid")[0].inputs == ["out"]
+
+    def test_both_outputs_duplicated_kept(self):
+        graph = Graph(
+            inputs=[ValueInfo("input", (1, 4))],
+            outputs=[ValueInfo("a", (1, 4)), ValueInfo("b", (1, 4))],
+            nodes=[
+                Node("Relu", ["input"], ["a"], name="r1"),
+                Node("Relu", ["input"], ["b"], name="r2"),
+            ],
+        )
+        assert CommonSubexpressionElimination().apply(graph) == 0
+        graph.validate()
+
+    def test_inception_style_shared_pool_branch(self):
+        """Two towers computing the same avg-pool collapse to one."""
+        builder = GraphBuilder(seed=1)
+        x = builder.input("input", (1, 8, 8, 8))
+        pool_a = builder.average_pool(x, 3, stride=1, pad=1)
+        pool_b = builder.average_pool(x, 3, stride=1, pad=1)
+        left = builder.conv(pool_a, 4, 1)
+        right = builder.conv(pool_b, 8, 1)
+        builder.output(builder.concat([left, right]))
+        graph = builder.finish()
+        before = graph.copy()
+        assert CommonSubexpressionElimination().apply(graph) == 1
+        assert len(graph.nodes_by_type("AveragePool")) == 1
+        run_both(before, graph, (1, 8, 8, 8))

@@ -1,0 +1,88 @@
+"""The default pass pipeline: semantics preserved on real models."""
+
+import numpy as np
+import pytest
+
+from repro.models import zoo
+from repro.passes import default_pipeline
+from repro.runtime.session import InferenceSession
+
+
+def outputs_for(graph, shape, optimize_already_done):
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal(shape).astype(np.float32)
+    sess = InferenceSession(graph, optimize=False)
+    return sess.run({"input": x})["output"]
+
+
+class TestPipelineOnModels:
+    """Optimised graphs compute the same function with fewer nodes."""
+
+    @pytest.mark.parametrize("model,size,bn_free", [
+        # WRN is pre-activation (BN feeds the conv), so only the post-conv
+        # BNs fold; the post-activation models lose every BN.
+        ("wrn-40-2", 16, False),
+        ("mobilenet-v1", 64, True),
+        ("resnet18", 64, True),
+        ("resnet50", 64, True),
+        ("inception-v3", 128, True),
+    ])
+    def test_equivalence_and_shrinkage(self, model, size, bn_free):
+        graph = zoo.build(model, image_size=size)
+        optimized = default_pipeline().run(graph)
+        assert len(optimized.nodes) < len(graph.nodes)
+        bn_before = len(graph.nodes_by_type("BatchNormalization"))
+        bn_after = len(optimized.nodes_by_type("BatchNormalization"))
+        assert bn_after < bn_before
+        if bn_free:
+            assert bn_after == 0
+        shape = (1, 3, size, size)
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal(shape).astype(np.float32)
+        base = InferenceSession(graph, optimize=False).run({"input": x})
+        opt = InferenceSession(optimized, optimize=False).run({"input": x})
+        np.testing.assert_allclose(
+            base["output"], opt["output"], rtol=1e-3, atol=1e-5)
+
+    def test_pipeline_is_idempotent(self):
+        graph = zoo.build("wrn-40-2", image_size=16)
+        pipeline = default_pipeline()
+        once = pipeline.run(graph)
+        twice = default_pipeline().run(once)
+        assert len(twice.nodes) == len(once.nodes)
+
+    def test_report_records_rewrites(self):
+        graph = zoo.build("wrn-40-2", image_size=16)
+        pipeline = default_pipeline()
+        pipeline.run(graph)
+        report = pipeline.last_report
+        assert report is not None
+        totals: dict[str, int] = {}
+        for name, count in report.counts:  # names repeat across iterations
+            totals[name] = totals.get(name, 0) + count
+        assert totals.get("fold-batchnorm", 0) > 0
+        assert report.total > 0
+
+    def test_original_graph_untouched(self):
+        graph = zoo.build("wrn-40-2", image_size=16)
+        nodes_before = len(graph.nodes)
+        default_pipeline().run(graph)
+        assert len(graph.nodes) == nodes_before
+
+    def test_unused_initializers_pruned(self):
+        graph = zoo.build("wrn-40-2", image_size=16)
+        optimized = default_pipeline().run(graph)
+        used = set()
+        for node in optimized.nodes:
+            used.update(node.present_inputs)
+        dangling = [name for name in optimized.initializers
+                    if name not in used and name not in optimized.output_names]
+        assert dangling == []
+
+    def test_fuse_can_be_disabled(self):
+        graph = zoo.build("wrn-40-2", image_size=16)
+        unfused = default_pipeline(fuse=False).run(graph)
+        assert all("activation" not in node.attrs for node in unfused.nodes)
+        # Still exportable to ONNX (no internal attributes).
+        from repro.onnx import save_model_bytes
+        save_model_bytes(unfused)

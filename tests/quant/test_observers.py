@@ -1,0 +1,118 @@
+"""Quantization observers and parameter computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.quant.observers import (
+    MinMaxObserver,
+    PercentileObserver,
+    QuantParams,
+    activation_params,
+    weight_params_per_channel,
+)
+
+
+class TestQuantParams:
+    def test_quantize_dequantize_roundtrip_error_bounded(self, rng):
+        x = rng.standard_normal(1000).astype(np.float32) * 3
+        params = activation_params(float(x.min()), float(x.max()))
+        error = np.abs(params.dequantize(params.quantize(x)) - x)
+        assert error.max() <= params.scale  # within one quantization step
+
+    def test_zero_maps_to_zero_point(self):
+        params = activation_params(-1.0, 3.0)
+        assert params.quantize(np.zeros(1))[0] == params.zero_point
+
+    def test_clamping(self):
+        params = activation_params(0.0, 1.0)
+        q = params.quantize(np.array([-100.0, 100.0]))
+        assert q[0] == 0 and q[1] == 255
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(QuantizationError, match="invalid scale"):
+            QuantParams(scale=0.0, zero_point=0)
+
+    def test_zero_point_range_checked(self):
+        with pytest.raises(QuantizationError, match="zero point"):
+            QuantParams(scale=1.0, zero_point=300)
+
+
+class TestActivationParams:
+    def test_range_always_includes_zero(self):
+        params = activation_params(2.0, 5.0)  # all-positive range
+        assert params.quantize(np.zeros(1))[0] == params.zero_point == 0
+
+    def test_degenerate_range_handled(self):
+        params = activation_params(1.5, 1.5)
+        assert params.scale > 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(low=st.floats(-100, 0), high=st.floats(0, 100))
+    def test_params_cover_range(self, low, high):
+        params = activation_params(low, high)
+        q = params.quantize(np.array([low, high]))
+        back = params.dequantize(q)
+        tolerance = params.scale * 1.01
+        assert abs(back[0] - min(low, 0.0)) <= tolerance
+        assert abs(back[1] - max(high, 0.0)) <= tolerance
+
+
+class TestWeightParams:
+    def test_symmetric_zero_point(self, rng):
+        w = rng.standard_normal((8, 4, 3, 3)).astype(np.float32)
+        scales, w_q = weight_params_per_channel(w)
+        assert w_q.dtype == np.int8
+        assert scales.shape == (8,)
+        assert np.abs(w_q).max() <= 127
+
+    def test_per_channel_reconstruction(self, rng):
+        w = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        scales, w_q = weight_params_per_channel(w)
+        back = w_q.astype(np.float32) * scales.reshape(-1, 1, 1, 1)
+        assert np.abs(back - w).max() <= scales.max()
+
+    def test_channel_with_large_range_gets_large_scale(self):
+        w = np.ones((2, 1, 1, 1), dtype=np.float32)
+        w[1] = 100.0
+        scales, _ = weight_params_per_channel(w)
+        assert scales[1] > scales[0]
+
+    def test_rank1_rejected(self):
+        with pytest.raises(QuantizationError, match="rank"):
+            weight_params_per_channel(np.ones(4, dtype=np.float32))
+
+
+class TestObservers:
+    def test_minmax_accumulates(self):
+        observer = MinMaxObserver()
+        observer.observe(np.array([0.0, 1.0]))
+        observer.observe(np.array([-2.0, 0.5]))
+        params = observer.params()
+        assert params.dequantize(params.quantize(np.array([-2.0])))[0] == \
+            pytest.approx(-2.0, abs=params.scale)
+
+    def test_minmax_empty_rejected(self):
+        with pytest.raises(QuantizationError, match="no data"):
+            MinMaxObserver().params()
+
+    def test_percentile_clips_outliers(self, rng):
+        x = rng.standard_normal(10000).astype(np.float32)
+        x[0] = 1000.0  # a wild outlier
+        minmax = MinMaxObserver()
+        minmax.observe(x)
+        percentile = PercentileObserver(99.0)
+        percentile.observe(x)
+        assert percentile.params().scale < minmax.params().scale / 10
+
+    def test_percentile_validates_argument(self):
+        with pytest.raises(QuantizationError, match="percentile"):
+            PercentileObserver(10.0)
+
+    def test_observers_ignore_empty_arrays(self):
+        observer = MinMaxObserver()
+        observer.observe(np.array([]))
+        with pytest.raises(QuantizationError):
+            observer.params()

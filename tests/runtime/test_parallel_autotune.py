@@ -1,0 +1,104 @@
+"""The parallel_for substrate and the per-layer autotuner."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.parallel import chunk_ranges, parallel_for
+from repro.passes import default_pipeline
+from repro.runtime.autotune import autotune
+from tests.conftest import tiny_classifier
+
+
+class TestChunkRanges:
+    def test_covers_range_exactly(self):
+        spans = chunk_ranges(10, 3)
+        covered = [i for start, stop in spans for i in range(start, stop)]
+        assert covered == list(range(10))
+
+    def test_at_most_requested_chunks(self):
+        assert len(chunk_ranges(10, 3)) == 3
+        assert len(chunk_ranges(2, 8)) == 2
+
+    def test_empty(self):
+        assert chunk_ranges(0, 4) == []
+
+    def test_balanced(self):
+        sizes = [stop - start for start, stop in chunk_ranges(10, 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestParallelFor:
+    def test_single_thread_runs_inline(self):
+        thread_ids = []
+        parallel_for(100, lambda a, b: thread_ids.append(
+            threading.get_ident()), threads=1)
+        assert thread_ids == [threading.get_ident()]
+
+    def test_multi_thread_covers_all_work(self):
+        done = np.zeros(1000, dtype=np.int64)
+
+        def body(start, stop):
+            done[start:stop] += 1
+
+        parallel_for(1000, body, threads=4)
+        assert (done == 1).all()
+
+    def test_worker_exception_propagates(self):
+        def body(start, stop):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_for(10, body, threads=2)
+
+    def test_zero_items_is_noop(self):
+        parallel_for(0, lambda a, b: pytest.fail("should not run"), threads=2)
+
+    def test_invalid_threads_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_for(5, lambda a, b: None, threads=0)
+
+
+class TestAutotune:
+    def test_returns_override_per_conv(self):
+        graph = default_pipeline().run(tiny_classifier())
+        overrides = autotune(
+            graph, {"Conv": ("im2col", "direct")}, repeats=1)
+        conv_names = {n.name for n in graph.nodes_by_type("Conv")}
+        assert set(overrides) == conv_names
+        assert all(v in ("im2col", "direct") for v in overrides.values())
+
+    def test_identical_layers_share_measurement(self):
+        from repro.ir.builder import GraphBuilder
+        builder = GraphBuilder(seed=0)
+        x = builder.input("input", (1, 4, 8, 8))
+        y = builder.conv(x, 4, 3, pad=1)
+        y = builder.conv(y, 4, 3, pad=1)  # identical signature
+        builder.output(y)
+        graph = builder.finish()
+        overrides = autotune(graph, {"Conv": ("im2col", "direct")}, repeats=1)
+        assert len(set(overrides.values())) == 1  # same winner from cache
+
+    def test_inapplicable_candidates_skipped(self):
+        graph = default_pipeline().run(tiny_classifier())
+        # winograd is inapplicable to nothing here? tiny has a 3x3 s1 conv:
+        # race winograd against a made-up-but-inapplicable set.
+        overrides = autotune(graph, {"Conv": ("winograd",)}, repeats=1)
+        for name, impl in overrides.items():
+            assert impl == "winograd"
+
+    def test_unknown_op_types_ignored(self):
+        graph = default_pipeline().run(tiny_classifier())
+        assert autotune(graph, {"NoSuchOp": ("x",)}, repeats=1) == {}
+
+    def test_overrides_work_in_backend(self, rng):
+        from repro.backends import Backend
+        from repro.runtime.session import InferenceSession
+        graph = default_pipeline().run(tiny_classifier())
+        overrides = autotune(graph, {"Conv": ("direct",)}, repeats=1)
+        backend = Backend(name="tuned-test", gemm="blas").with_overrides(overrides)
+        session = InferenceSession(graph, backend=backend, optimize=False)
+        plan = session.kernel_plan()
+        for node_name, impl in overrides.items():
+            assert plan[node_name] == impl

@@ -1,0 +1,51 @@
+"""Chrome-trace export of per-layer profiles."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.session import InferenceSession
+from repro.runtime.trace import save_chrome_trace, to_chrome_trace
+from tests.conftest import tiny_classifier
+
+
+@pytest.fixture(scope="module")
+def profile():
+    session = InferenceSession(tiny_classifier())
+    x = np.random.default_rng(0).standard_normal((1, 3, 8, 8)).astype(np.float32)
+    return session.profile({"input": x}, repeats=3)
+
+
+class TestChromeTrace:
+    def test_valid_json_with_expected_events(self, profile):
+        trace = json.loads(to_chrome_trace(profile))
+        events = trace["traceEvents"]
+        complete = [e for e in events if e.get("ph") == "X"]
+        assert len(complete) == len(profile.layers)
+
+    def test_events_are_contiguous_timeline(self, profile):
+        trace = json.loads(to_chrome_trace(profile))
+        complete = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        cursor = 0.0
+        for event in complete:
+            assert event["ts"] == pytest.approx(cursor, abs=0.01)
+            cursor += event["dur"]
+
+    def test_durations_match_medians(self, profile):
+        trace = json.loads(to_chrome_trace(profile))
+        complete = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        for event, layer in zip(complete, profile.layers):
+            assert event["name"] == layer.node_name
+            assert event["dur"] == pytest.approx(layer.median * 1e6, rel=1e-3)
+            assert event["args"]["impl"] == layer.impl
+
+    def test_metadata_events(self, profile):
+        trace = json.loads(to_chrome_trace(profile, process_name="myproc"))
+        meta = [e for e in trace["traceEvents"] if e.get("ph") == "M"]
+        assert any(e["args"].get("name") == "myproc" for e in meta)
+
+    def test_save(self, profile, tmp_path):
+        path = tmp_path / "trace.json"
+        save_chrome_trace(profile, str(path))
+        assert json.loads(path.read_text())["displayTimeUnit"] == "ms"

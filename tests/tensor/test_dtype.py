@@ -1,0 +1,51 @@
+"""DType: numpy and ONNX mappings."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.dtype import DType
+
+
+class TestNumpyMapping:
+    def test_float32_roundtrip(self):
+        assert DType.from_numpy(np.float32) is DType.FLOAT32
+        assert DType.FLOAT32.np == np.dtype(np.float32)
+
+    @pytest.mark.parametrize("dtype", list(DType))
+    def test_every_dtype_roundtrips_through_numpy(self, dtype):
+        assert DType.from_numpy(dtype.np) is dtype
+
+    def test_unsupported_numpy_dtype_raises(self):
+        with pytest.raises(ValueError, match="unsupported numpy dtype"):
+            DType.from_numpy(np.complex64)
+
+    def test_itemsize(self):
+        assert DType.FLOAT32.itemsize == 4
+        assert DType.FLOAT64.itemsize == 8
+        assert DType.INT8.itemsize == 1
+
+
+class TestOnnxMapping:
+    @pytest.mark.parametrize("dtype", list(DType))
+    def test_every_dtype_roundtrips_through_onnx(self, dtype):
+        assert DType.from_onnx(dtype.onnx_code) is dtype
+
+    def test_float32_is_onnx_code_1(self):
+        assert DType.FLOAT32.onnx_code == 1
+
+    def test_unknown_onnx_code_raises(self):
+        with pytest.raises(ValueError, match="unsupported ONNX"):
+            DType.from_onnx(999)
+
+
+class TestClassification:
+    def test_float_classification(self):
+        assert DType.FLOAT32.is_float
+        assert DType.FLOAT64.is_float
+        assert not DType.INT8.is_float
+
+    def test_integer_classification(self):
+        assert DType.INT8.is_integer
+        assert DType.INT64.is_integer
+        assert not DType.FLOAT32.is_integer
+        assert not DType.BOOL.is_integer

@@ -1,0 +1,62 @@
+"""Layout conversions: NCHW/NHWC activations, OIHW/HWIO weights."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import layout
+from repro.tensor.layout import (
+    convert_activation,
+    convert_weight,
+    nchw_to_nhwc,
+    nhwc_to_nchw,
+)
+
+
+class TestActivationLayout:
+    def test_nchw_to_nhwc_moves_channels_last(self):
+        x = np.arange(24, dtype=np.float32).reshape(1, 2, 3, 4)
+        y = nchw_to_nhwc(x)
+        assert y.shape == (1, 3, 4, 2)
+        assert y[0, 1, 2, 0] == x[0, 0, 1, 2]
+
+    def test_roundtrip_is_identity(self):
+        x = np.random.default_rng(0).standard_normal((2, 3, 4, 5))
+        np.testing.assert_array_equal(nhwc_to_nchw(nchw_to_nhwc(x)), x)
+
+    def test_same_layout_returns_same_object(self):
+        x = np.zeros((1, 1, 2, 2))
+        assert convert_activation(x, "NCHW", "NCHW") is x
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(ValueError, match="rank 4"):
+            nchw_to_nhwc(np.zeros((2, 2)))
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError, match="unknown activation layout"):
+            convert_activation(np.zeros((1, 1, 1, 1)), "NCHW", "CHWN")
+
+    def test_output_contiguous(self):
+        y = nchw_to_nhwc(np.zeros((1, 3, 4, 4)))
+        assert y.flags["C_CONTIGUOUS"]
+
+
+class TestWeightLayout:
+    def test_oihw_to_hwio(self):
+        w = np.arange(2 * 3 * 4 * 5, dtype=np.float32).reshape(2, 3, 4, 5)
+        h = convert_weight(w, "OIHW", "HWIO")
+        assert h.shape == (4, 5, 3, 2)
+        assert h[1, 2, 0, 1] == w[1, 0, 1, 2]
+
+    def test_roundtrip(self):
+        w = np.random.default_rng(1).standard_normal((8, 4, 3, 3))
+        back = convert_weight(convert_weight(w, "OIHW", "HWIO"), "HWIO", "OIHW")
+        np.testing.assert_array_equal(back, w)
+
+    def test_unknown_weight_layout_rejected(self):
+        with pytest.raises(ValueError, match="unknown weight layout"):
+            convert_weight(np.zeros((1, 1, 1, 1)), "OIHW", "OHWI")
+
+    def test_axes_helper_consistency(self):
+        # The private helper must compute the inverse permutation pair.
+        assert layout._axes("NCHW", "NHWC") == (0, 2, 3, 1)
+        assert layout._axes("NHWC", "NCHW") == (0, 3, 1, 2)

@@ -1,0 +1,99 @@
+"""Tensor: construction, conversion, factories, comparison."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import DType, Tensor
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0], dtype=DType.FLOAT32)
+        assert t.shape == (3,)
+        assert t.dtype is DType.FLOAT32
+
+    def test_from_numpy_keeps_dtype(self):
+        t = Tensor(np.zeros((2, 2), dtype=np.int64))
+        assert t.dtype is DType.INT64
+
+    def test_dtype_conversion_on_construction(self):
+        t = Tensor(np.zeros(4, dtype=np.float64), dtype=DType.FLOAT32)
+        assert t.dtype is DType.FLOAT32
+
+    def test_non_contiguous_input_is_made_contiguous(self):
+        base = np.arange(16, dtype=np.float32).reshape(4, 4)
+        t = Tensor(base.T)
+        assert t.data.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(t.data, base.T)
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros(2, dtype=np.complex64))
+
+    def test_name(self):
+        assert Tensor([1.0], name="x").name == "x"
+        assert Tensor([1.0]).name == ""
+
+
+class TestProperties:
+    def test_shape_rank_size_nbytes(self):
+        t = Tensor.zeros((2, 3, 4))
+        assert t.shape == (2, 3, 4)
+        assert t.rank == 3
+        assert t.size == 24
+        assert t.nbytes == 96
+
+    def test_numpy_returns_backing_array(self):
+        t = Tensor.zeros((2, 2))
+        assert t.numpy() is t.data
+
+
+class TestFactories:
+    def test_zeros_and_ones(self):
+        assert float(Tensor.zeros((2,)).data.sum()) == 0.0
+        assert float(Tensor.ones((2,)).data.sum()) == 2.0
+
+    def test_random_is_seeded(self):
+        a = Tensor.random((3, 3), seed=7)
+        b = Tensor.random((3, 3), seed=7)
+        c = Tensor.random((3, 3), seed=8)
+        assert a == b
+        assert a != c
+
+    def test_random_scale(self):
+        t = Tensor.random((1000,), seed=0, scale=0.01)
+        assert float(np.abs(t.data).max()) < 0.1
+
+
+class TestConversionAndComparison:
+    def test_astype(self):
+        t = Tensor([1.5, 2.5], dtype=DType.FLOAT32)
+        i = t.astype(DType.INT32)
+        assert i.dtype is DType.INT32
+        np.testing.assert_array_equal(i.data, [1, 2])
+
+    def test_with_name_shares_data(self):
+        t = Tensor.zeros((2,))
+        renamed = t.with_name("y")
+        assert renamed.name == "y"
+        assert renamed.data is t.data
+
+    def test_copy_is_independent(self):
+        t = Tensor.zeros((2,))
+        c = t.copy()
+        c.data[0] = 5.0
+        assert t.data[0] == 0.0
+
+    def test_allclose(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor([1.0 + 1e-8, 2.0])
+        assert a.allclose(b)
+        assert not a.allclose(Tensor([1.0, 2.0, 3.0]))
+
+    def test_eq_checks_dtype(self):
+        a = Tensor([1.0], dtype=DType.FLOAT32)
+        b = Tensor([1.0], dtype=DType.FLOAT64)
+        assert a != b
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor.zeros((2,)))
