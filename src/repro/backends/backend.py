@@ -16,7 +16,7 @@ from collections.abc import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import BackendError
+from repro.errors import BackendError, KernelError
 from repro.ir.node import Node
 from repro.kernels.gemm import GEMM_PRIMITIVES
 from repro.kernels.registry import REGISTRY, KernelImpl, KernelRegistry
@@ -89,6 +89,42 @@ class Backend:
             if candidates:
                 return candidates[0]
         return self.registry.select(node, input_shapes, preferences=preferred)
+
+    def candidates(
+        self, node: Node, input_shapes: Sequence[tuple[int, ...]]
+    ) -> list[KernelImpl]:
+        """The full ordered kernel chain for ``node``: winner first.
+
+        This is what makes the paper's "multiple implementations selected
+        at runtime" fault-tolerant: the executor binds the whole chain at
+        prepare time and, when an implementation fails mid-run, falls back
+        to the next entry. Order: the :meth:`select` winner, then the
+        remaining backend preferences, then every other applicable
+        implementation in registry priority order — with an applicable
+        implementation literally named ``"reference"`` appended as the
+        last resort even when it is flagged experimental (a slow but
+        numerically canonical kernel is exactly what a fallback chain
+        should bottom out on).
+        """
+        primary = self.select(node, input_shapes)
+        chain = [primary]
+        pool = self.registry.candidates(
+            node, input_shapes, include_experimental=self.include_experimental)
+        by_name = {impl.name: impl for impl in pool}
+        for name in self.preferences.get(node.op_type, ()):
+            impl = by_name.get(name)
+            if impl is not None and impl not in chain:
+                chain.append(impl)
+        for impl in pool:
+            if impl not in chain:
+                chain.append(impl)
+        try:
+            reference = self.registry.get(node.op_type, "reference")
+        except KernelError:
+            return chain
+        if reference not in chain and reference.supports(node, input_shapes):
+            chain.append(reference)
+        return chain
 
     def with_overrides(self, overrides: Mapping[str, str]) -> "Backend":
         """A copy with extra per-node implementation overrides."""

@@ -1,7 +1,13 @@
 """Benchmark harness: the paper's experiments and the ablation infrastructure."""
 
 from repro.bench.figure2 import Exclusion, Figure2Result, run_figure2
-from repro.bench.harness import RunStats, time_model, time_session
+from repro.bench.harness import (
+    FailureRow,
+    RunStats,
+    run_guarded,
+    time_model,
+    time_session,
+)
 from repro.bench.layerwise import (
     STANDARD_CONV_CASES,
     ConvCase,
@@ -26,7 +32,9 @@ from repro.bench.workloads import (
 __all__ = [
     "ConvCase",
     "Exclusion",
+    "FailureRow",
     "Figure2Result",
+    "run_guarded",
     "LayerRaceResult",
     "RegressionReport",
     "RunStats",

@@ -15,6 +15,7 @@ import dataclasses
 from repro.errors import FrameworkUnavailableError
 from repro.frameworks.adapters import EVALUATION_ORDER
 from repro.frameworks.base import Measurement, get_adapter
+from repro.bench.harness import FailureRow, run_guarded
 from repro.bench.reporting import format_csv, format_table
 from repro.models.zoo import FIGURE2_MODELS
 
@@ -38,6 +39,12 @@ class Figure2Result:
     frameworks: tuple[str, ...]
     threads: int
     repeats: int
+    failures: list[FailureRow] = dataclasses.field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when no cell failed unexpectedly (exclusions are expected)."""
+        return not self.failures
 
     def median_ms(self, framework: str, model: str) -> float | None:
         for m in self.measurements:
@@ -90,6 +97,7 @@ class Figure2Result:
             f"  excluded {exc.framework}/{exc.model}: {exc.reason}"
             for exc in self.exclusions
         ]
+        notes.extend(f"  {failure}" for failure in self.failures)
         return "\n".join([body, *notes])
 
     def csv(self) -> str:
@@ -134,12 +142,19 @@ def run_figure2(
     batch: int = 1,
     image_size: int | None = None,
     verbose: bool = False,
+    retries: int = 1,
 ) -> Figure2Result:
     """Measure every (framework, model) cell of Figure 2.
 
     Frameworks that raise :class:`FrameworkUnavailableError` for a model are
     recorded as exclusions with the adapter's stated reason — the same
     bookkeeping the paper reports in prose for DarkNet and TF-Lite.
+
+    Every other :class:`~repro.errors.OrpheusError` — a broken adapter, a
+    kernel whose whole fallback chain is exhausted — is confined to its
+    cell: the call is retried up to ``retries`` times and then recorded as
+    a structured :class:`~repro.bench.harness.FailureRow`, so one poisoned
+    (framework, model) combination never aborts the sweep.
 
     Per model, the timing rounds are *interleaved* across frameworks
     (round-robin) rather than measured back to back, so slow drift in
@@ -152,19 +167,31 @@ def run_figure2(
 
     measurements: list[Measurement] = []
     exclusions: list[Exclusion] = []
+    failures: list[FailureRow] = []
     for model in models:
         prepared = {}
         for framework in frameworks:
             adapter = get_adapter(framework)
             try:
-                prepared[framework] = adapter.prepare(
-                    model, batch=batch, image_size=image_size,
-                    threads=threads)
+                runnable, failure = run_guarded(
+                    lambda: adapter.prepare(
+                        model, batch=batch, image_size=image_size,
+                        threads=threads),
+                    label=f"{framework}/{model}", stage="prepare",
+                    retries=retries,
+                    reraise=(FrameworkUnavailableError,))
             except FrameworkUnavailableError as exc:
                 exclusions.append(Exclusion(framework, model, str(exc)))
                 if verbose:
                     print(f"[figure2] {framework:8s} {model:13s} "
                           f"excluded: {exc}")
+                continue
+            if failure is not None:
+                failures.append(failure)
+                if verbose:
+                    print(f"[figure2] {failure}")
+                continue
+            prepared[framework] = runnable
         if not prepared:
             continue
         x = model_input(model, batch=batch, image_size=image_size)
@@ -172,15 +199,37 @@ def run_figure2(
             fw: getattr(p, "per_run_overhead_s", 0.0)
             for fw, p in prepared.items()
         }
-        for runnable in prepared.values():
-            for _ in range(warmup):
-                runnable.run(x)
+        for framework, runnable in list(prepared.items()):
+            _, failure = run_guarded(
+                lambda: [runnable.run(x) for _ in range(warmup)],
+                label=f"{framework}/{model}", stage="warmup",
+                retries=retries)
+            if failure is not None:
+                failures.append(failure)
+                if verbose:
+                    print(f"[figure2] {failure}")
+                del prepared[framework]
         times: dict[str, list[float]] = {fw: [] for fw in prepared}
         for _round in range(repeats):
-            for framework, runnable in prepared.items():
-                started = time.perf_counter()
-                runnable.run(x)
-                elapsed = time.perf_counter() - started
+            for framework, runnable in list(prepared.items()):
+
+                def timed_run() -> float:
+                    started = time.perf_counter()
+                    runnable.run(x)
+                    return time.perf_counter() - started
+
+                elapsed, failure = run_guarded(
+                    timed_run, label=f"{framework}/{model}", stage="run",
+                    retries=retries)
+                if failure is not None:
+                    # Drop the framework from the remaining rounds: its
+                    # cell is reported as failed, the others keep going.
+                    failures.append(failure)
+                    if verbose:
+                        print(f"[figure2] {failure}")
+                    del prepared[framework]
+                    del times[framework]
+                    continue
                 times[framework].append(elapsed + overheads[framework])
         for framework, samples in times.items():
             measurement = Measurement(
@@ -193,4 +242,4 @@ def run_figure2(
     return Figure2Result(
         measurements=measurements, exclusions=exclusions,
         models=tuple(models), frameworks=tuple(frameworks),
-        threads=threads, repeats=repeats)
+        threads=threads, repeats=repeats, failures=failures)

@@ -3,19 +3,83 @@
 This is the "infrastructure to run multiple inference experiments,
 evaluating full networks" from the paper's contribution list, shared by the
 Figure 2 driver, the ablation benchmarks, and the CLI ``bench`` command.
+
+It also hosts the *failure boundary* the whole bench stack shares: partial
+failures — unsupported ops, numerically unstable kernels, unavailable
+frameworks — are the norm in edge evaluation, so sweeps convert framework
+errors into structured :class:`FailureRow`\\ s (with bounded retry) and keep
+measuring instead of aborting.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import statistics
+from collections.abc import Callable
+from typing import TypeVar
 
 import numpy as np
 
 from repro.backends.backend import Backend
 from repro.bench.workloads import model_input
+from repro.errors import OrpheusError
 from repro.models import zoo
 from repro.runtime.session import InferenceSession
+
+T = TypeVar("T")
+
+
+@dataclasses.dataclass(frozen=True)
+class FailureRow:
+    """One configuration a sweep could not measure — and why.
+
+    Mirrors the paper's availability notes (DarkNet ships only the ResNets,
+    TF-Lite cannot pin one thread): instead of aborting the sweep, the cell
+    is reported as a structured failure.
+    """
+
+    label: str          # e.g. "darknet/mobilenet-v1" or "resnet18@batch=4"
+    stage: str          # "prepare" | "warmup" | "run"
+    error_type: str     # exception class name
+    message: str
+    attempts: int       # tries consumed (1 = no retry granted/needed)
+
+    def __str__(self) -> str:
+        retry = f" after {self.attempts} attempts" if self.attempts > 1 else ""
+        return (f"FAILED {self.label} [{self.stage}] "
+                f"{self.error_type}: {self.message}{retry}")
+
+
+def run_guarded(
+    fn: Callable[[], T],
+    label: str,
+    stage: str = "run",
+    retries: int = 1,
+    catch: tuple[type[BaseException], ...] = (OrpheusError,),
+    reraise: tuple[type[BaseException], ...] = (),
+) -> tuple[T | None, FailureRow | None]:
+    """Call ``fn`` inside a failure boundary with bounded retry.
+
+    Returns ``(result, None)`` on success or ``(None, FailureRow)`` once
+    ``fn`` has failed ``retries + 1`` times with an exception from
+    ``catch``. Exceptions outside ``catch`` (programming errors,
+    ``KeyboardInterrupt``) propagate unchanged, as do ``reraise``
+    subclasses even when they fall under ``catch`` (used to let expected,
+    deterministic unavailability — exclusions — bypass the retry loop).
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return fn(), None
+        except catch as exc:
+            if isinstance(exc, reraise):
+                raise
+            if attempts > retries:
+                return None, FailureRow(
+                    label=label, stage=stage,
+                    error_type=type(exc).__name__, message=str(exc),
+                    attempts=attempts)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -14,10 +14,11 @@ import statistics
 import time
 
 from repro.backends.backend import Backend
+from repro.bench.harness import FailureRow, run_guarded
 from repro.bench.reporting import format_csv, format_table
 from repro.bench.workloads import model_input
 from repro.models import zoo
-from repro.runtime.session import InferenceSession
+from repro.runtime.session import InferenceSession, _validate_protocol
 
 
 @dataclasses.dataclass(frozen=True)
@@ -44,6 +45,12 @@ class SweepResult:
     model: str
     parameter: str                      # "batch" | "image_size"
     points: tuple[SweepPoint, ...]
+    failures: tuple[FailureRow, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        """True when every requested configuration was measured."""
+        return not self.failures
 
     def rows(self) -> list[list[object]]:
         return [
@@ -53,17 +60,28 @@ class SweepResult:
         ]
 
     def table(self) -> str:
-        return format_table(
+        body = format_table(
             [self.parameter, "median (ms)", "per item (ms)"],
             self.rows(),
             title=f"{self.model}: latency vs {self.parameter}")
+        notes = [f"  {failure}" for failure in self.failures]
+        return "\n".join([body, *notes])
 
     def csv(self) -> str:
         return format_csv(
             [self.parameter, "median_ms", "per_item_ms"], self.rows())
 
     def scaling_factor(self) -> float:
-        """Last point's per-item cost over the first's (<1 = amortising)."""
+        """Last point's per-item cost over the first's (<1 = amortising).
+
+        Raises:
+            ValueError: fewer than two points were measured (e.g. the rest
+                of the sweep degraded into failure rows).
+        """
+        if len(self.points) < 2:
+            raise ValueError(
+                f"scaling_factor needs >= 2 measured points, have "
+                f"{len(self.points)} ({len(self.failures)} failed)")
         return self.points[-1].per_item_ms / self.points[0].per_item_ms
 
 
@@ -96,14 +114,29 @@ def batch_sweep(
     threads: int = 1,
     repeats: int = 5,
     warmup: int = 1,
+    retries: int = 1,
 ) -> SweepResult:
-    """Latency vs batch size at fixed resolution."""
-    points = tuple(
-        _time_config(model, batch, image_size, backend, threads,
-                     repeats, warmup)
-        for batch in batches
-    )
-    return SweepResult(model=model, parameter="batch", points=points)
+    """Latency vs batch size at fixed resolution.
+
+    A configuration that keeps failing with an
+    :class:`~repro.errors.OrpheusError` (after ``retries`` extra tries)
+    becomes a :class:`~repro.bench.harness.FailureRow` on the result
+    instead of aborting the sweep.
+    """
+    _validate_protocol(repeats, warmup)
+    points: list[SweepPoint] = []
+    failures: list[FailureRow] = []
+    for batch in batches:
+        point, failure = run_guarded(
+            lambda: _time_config(model, batch, image_size, backend, threads,
+                                 repeats, warmup),
+            label=f"{model}@batch={batch}", retries=retries)
+        if failure is not None:
+            failures.append(failure)
+        else:
+            points.append(point)
+    return SweepResult(model=model, parameter="batch", points=tuple(points),
+                       failures=tuple(failures))
 
 
 def resolution_sweep(
@@ -113,10 +146,24 @@ def resolution_sweep(
     threads: int = 1,
     repeats: int = 5,
     warmup: int = 1,
+    retries: int = 1,
 ) -> SweepResult:
-    """Latency vs input resolution at batch 1."""
-    points = tuple(
-        _time_config(model, 1, size, backend, threads, repeats, warmup)
-        for size in image_sizes
-    )
-    return SweepResult(model=model, parameter="image_size", points=points)
+    """Latency vs input resolution at batch 1.
+
+    Degrades per point like :func:`batch_sweep`: failing configurations
+    turn into failure rows, the sweep always completes.
+    """
+    _validate_protocol(repeats, warmup)
+    points: list[SweepPoint] = []
+    failures: list[FailureRow] = []
+    for size in image_sizes:
+        point, failure = run_guarded(
+            lambda: _time_config(model, 1, size, backend, threads, repeats,
+                                 warmup),
+            label=f"{model}@image_size={size}", retries=retries)
+        if failure is not None:
+            failures.append(failure)
+        else:
+            points.append(point)
+    return SweepResult(model=model, parameter="image_size",
+                       points=tuple(points), failures=tuple(failures))

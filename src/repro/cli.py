@@ -100,6 +100,9 @@ def _build_parser() -> argparse.ArgumentParser:
     figure2.add_argument("--csv", help="also write CSV to this path")
     figure2.add_argument("--chart", action="store_true",
                          help="render ASCII bars instead of the table")
+    figure2.add_argument("--retries", type=int, default=1,
+                         help="extra tries per failing cell before it "
+                              "degrades into a failure row")
     table1 = bench_sub.add_parser("table1", help="Table I")
     table1.add_argument("--rationale", action="store_true")
     layers = bench_sub.add_parser("layers", help="conv algorithm race")
@@ -120,6 +123,46 @@ def _session_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--threads", type=int, default=1)
     parser.add_argument("--no-optimize", action="store_true")
     parser.add_argument("--seed", type=int, default=0)
+    _robustness_flags(parser)
+
+
+def _robustness_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--check-numerics", action="store_true",
+        help="treat NaN/Inf kernel outputs as failures (triggers fallback)")
+    parser.add_argument(
+        "--no-fallback", action="store_true",
+        help="abort on the first kernel failure instead of falling back "
+             "to the next applicable implementation")
+    parser.add_argument(
+        "--inject-faults", metavar="SPEC", default=None,
+        help="deterministic fault injection, e.g. "
+             "'raise:op=Conv:attempt=0;nan:node=conv1*:p=0.5:seed=7'")
+    parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for --inject-faults probability draws")
+
+
+def _session_kwargs(args: argparse.Namespace) -> dict:
+    """Robustness-related InferenceSession kwargs from parsed flags."""
+    kwargs: dict = {}
+    if args.check_numerics:
+        kwargs["check_numerics"] = True
+    if args.no_fallback:
+        kwargs["kernel_fallback"] = False
+    if args.inject_faults:
+        from repro.runtime.faults import parse_fault_plan
+        kwargs["fault_plan"] = parse_fault_plan(
+            args.inject_faults, seed=args.fault_seed)
+    return kwargs
+
+
+def _print_robustness(session) -> None:
+    """Print the robustness report when anything noteworthy happened."""
+    report = session.robustness_report()
+    if not report.clean:
+        print()
+        print(report.summary())
 
 
 def _load_graph(name: str, seed: int = 0):
@@ -175,13 +218,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     graph = _load_graph(args.model, seed=args.seed)
     session = InferenceSession(
         graph, backend=get_backend(args.backend), threads=args.threads,
-        optimize=not args.no_optimize)
+        optimize=not args.no_optimize, **_session_kwargs(args))
     outputs = session.run(_model_feed(session.graph))
     for name, array in outputs.items():
         flat = array.reshape(-1)
         top = int(flat.argmax())
         print(f"{name}: shape {array.shape}, argmax {top}, "
               f"max {flat[top]:.4f}")
+    _print_robustness(session)
     return 0
 
 
@@ -190,7 +234,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     graph = _load_graph(args.model, seed=args.seed)
     session = InferenceSession(
         graph, backend=get_backend(args.backend), threads=args.threads,
-        optimize=not args.no_optimize)
+        optimize=not args.no_optimize, **_session_kwargs(args))
     profile = session.profile(_model_feed(session.graph), repeats=args.repeats)
     print(profile.table(count=args.top))
     print("\nby op type (ms):")
@@ -200,6 +244,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         from repro.runtime.trace import save_chrome_trace
         save_chrome_trace(profile, args.trace, process_name=args.model)
         print(f"\nwrote {args.trace}")
+    _print_robustness(session)
     return 0
 
 
@@ -343,9 +388,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         image_size=args.image_size,
         verbose=True,
+        retries=args.retries,
     )
     print()
     print(result.chart() if args.chart else result.table())
+    print(f"\nrobustness: {len(result.measurements)} cell(s) measured, "
+          f"{len(result.exclusions)} excluded, "
+          f"{len(result.failures)} failed")
+    for failure in result.failures:
+        print(f"  {failure}")
     if args.csv:
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(result.csv() + "\n")

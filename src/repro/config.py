@@ -12,6 +12,10 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids an import cycle)
+    from repro.runtime.faults import FaultPlan
 
 
 @dataclasses.dataclass(frozen=True)
@@ -25,7 +29,19 @@ class RuntimeConfig:
         optimize: run the graph-simplification pass pipeline before execution.
         memory_planning: reuse buffers via the arena planner.
         validate_kernels: re-check kernel output shapes/dtypes against shape
-            inference after every node (slow; for debugging).
+            inference after every node (slow; for debugging). Implied per
+            attempt whenever a fault plan is installed, so corrupt-shape
+            faults are caught and trigger fallback.
+        kernel_fallback: when a kernel fails on a node, retry with the next
+            applicable implementation from the backend's candidate chain
+            instead of aborting the run (the run fails only when the whole
+            chain is exhausted).
+        check_numerics: treat NaN/Inf in any kernel output as a failure
+            (:class:`~repro.errors.KernelNumericError`); under fallback the
+            node is retried with the next implementation.
+        fault_plan: optional :class:`~repro.runtime.faults.FaultPlan`
+            injecting deterministic faults into kernel invocations (tests
+            and chaos benchmarking); ``None`` disables injection.
     """
 
     threads: int = 1
@@ -33,6 +49,9 @@ class RuntimeConfig:
     optimize: bool = True
     memory_planning: bool = True
     validate_kernels: bool = False
+    kernel_fallback: bool = True
+    check_numerics: bool = False
+    fault_plan: "FaultPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.threads < 1:

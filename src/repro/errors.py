@@ -47,6 +47,34 @@ class ExecutionError(OrpheusError):
     """A kernel failed while executing a prepared graph."""
 
 
+class KernelNumericError(ExecutionError):
+    """A kernel produced non-finite values (NaN or Inf).
+
+    Raised only when :attr:`repro.config.RuntimeConfig.check_numerics` is
+    enabled. Under kernel fallback the executor treats this like any other
+    kernel failure and retries the node with the next applicable
+    implementation; the error escapes only when the whole chain emits
+    non-finite values.
+    """
+
+
+class FallbackExhaustedError(ExecutionError):
+    """Every applicable kernel implementation failed on one node.
+
+    The message enumerates each attempted implementation with the reason it
+    was rejected (exception, wrong shape/dtype, non-finite output, injected
+    fault), so a log line is enough to reconstruct the whole chain.
+    """
+
+
+class InjectedFaultError(ExecutionError):
+    """A deliberately injected fault fired (``FaultPlan`` mode ``raise``).
+
+    Distinct from organic kernel failures so tests and reports can tell
+    "the fault injector did its job" apart from "the kernel is broken".
+    """
+
+
 class FrameworkUnavailableError(OrpheusError):
     """A (simulated) third-party framework cannot run the requested workload.
 

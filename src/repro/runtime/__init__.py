@@ -1,6 +1,18 @@
-"""Runtime: session, executor, memory planner, profiler, thread pool."""
+"""Runtime: session, executor, fault tolerance, memory planner, profiler."""
 
-from repro.runtime.executor import Executor, NodeTiming, PreparedNode
+from repro.runtime.executor import (
+    Executor,
+    FallbackEvent,
+    NodeTiming,
+    PreparedNode,
+    RobustnessReport,
+)
+from repro.runtime.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    parse_fault_plan,
+)
 from repro.runtime.memory_planner import MemoryPlan, footprint_report, plan_memory
 from repro.parallel import chunk_ranges, parallel_for
 from repro.runtime.profiler import LayerProfile, ProfileResult, collate
@@ -8,15 +20,21 @@ from repro.runtime.session import InferenceSession
 
 __all__ = [
     "Executor",
+    "FallbackEvent",
+    "FaultPlan",
+    "FaultSpec",
     "InferenceSession",
+    "InjectedFault",
     "LayerProfile",
     "MemoryPlan",
     "NodeTiming",
     "PreparedNode",
     "ProfileResult",
+    "RobustnessReport",
     "chunk_ranges",
     "collate",
     "footprint_report",
     "parallel_for",
+    "parse_fault_plan",
     "plan_memory",
 ]

@@ -1,32 +1,57 @@
-"""Graph executor: runs a prepared schedule node by node."""
+"""Graph executor: runs a prepared schedule node by node.
+
+Fault tolerance: each schedule entry carries the backend's *full* ordered
+candidate chain, not just the winning kernel. When an implementation fails
+mid-run — raises, returns the wrong shape/dtype, or (under
+``check_numerics``) emits NaN/Inf — the executor retries the node with the
+next applicable implementation, records a :class:`FallbackEvent`, and only
+raises :class:`~repro.errors.FallbackExhaustedError` once the whole chain
+is spent. :meth:`Executor.robustness_report` summarises what happened.
+"""
 
 from __future__ import annotations
 
 import dataclasses
 import time
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
 from repro.backends.backend import Backend
 from repro.config import RuntimeConfig
-from repro.errors import ExecutionError
+from repro.errors import (
+    ExecutionError,
+    FallbackExhaustedError,
+    InjectedFaultError,
+    KernelNumericError,
+)
 from repro.ir.graph import Graph
 from repro.ir.node import Node
 from repro.ir.shape_inference import infer_shapes
 from repro.kernels.context import ExecutionContext
 from repro.kernels.registry import KernelImpl
 from repro.ops import validate_graph_nodes
+from repro.runtime import faults as faults_mod
+from repro.runtime.faults import InjectedFault
 from repro.runtime.memory_planner import MemoryPlan, plan_memory
 
 
 @dataclasses.dataclass(frozen=True)
 class PreparedNode:
-    """One schedule entry: a node bound to its chosen kernel."""
+    """One schedule entry: a node bound to its kernel candidate chain.
+
+    ``impl`` is the primary (winning) implementation; ``candidates`` is the
+    full ordered chain starting with ``impl``, used for fallback.
+    """
 
     index: int
     node: Node
     impl: KernelImpl
+    candidates: tuple[KernelImpl, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            object.__setattr__(self, "candidates", (self.impl,))
 
 
 @dataclasses.dataclass
@@ -38,12 +63,92 @@ class NodeTiming:
     seconds: float
 
 
+@dataclasses.dataclass(frozen=True)
+class FallbackEvent:
+    """One failed kernel attempt and what the executor did about it."""
+
+    node_name: str
+    op_type: str
+    failed_impl: str
+    kind: str               # "raise" | "injected" | "shape" | "dtype" | "count" | "numeric"
+    message: str
+    attempt: int            # index in the candidate chain
+    recovered_impl: str | None   # implementation that saved the node, or None
+
+    def __str__(self) -> str:
+        outcome = (f"recovered with {self.recovered_impl}"
+                   if self.recovered_impl else "chain exhausted")
+        return (f"{self.node_name} ({self.op_type}): {self.failed_impl} "
+                f"[{self.kind}] {self.message} -> {outcome}")
+
+
+@dataclasses.dataclass(frozen=True)
+class RobustnessReport:
+    """What the fault-tolerance machinery did across the executor's runs."""
+
+    runs: int
+    fallback_events: tuple[FallbackEvent, ...]
+    injected_faults: tuple[InjectedFault, ...]
+
+    @property
+    def recovered(self) -> tuple[FallbackEvent, ...]:
+        return tuple(e for e in self.fallback_events if e.recovered_impl)
+
+    @property
+    def exhausted(self) -> tuple[FallbackEvent, ...]:
+        return tuple(e for e in self.fallback_events if not e.recovered_impl)
+
+    @property
+    def numeric_violations(self) -> int:
+        return sum(1 for e in self.fallback_events if e.kind == "numeric")
+
+    def fallbacks_by_node(self) -> dict[str, int]:
+        """Map node name -> number of failed attempts on that node."""
+        counts: dict[str, int] = {}
+        for event in self.fallback_events:
+            counts[event.node_name] = counts.get(event.node_name, 0) + 1
+        return counts
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.fallback_events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing went wrong (and nothing was injected)."""
+        return not self.fallback_events and not self.injected_faults
+
+    def summary(self) -> str:
+        lines = [f"robustness: {self.runs} run(s), "
+                 f"{len(self.fallback_events)} fallback event(s), "
+                 f"{len(self.injected_faults)} injected fault(s)"]
+        for kind, count in sorted(self.counts_by_kind().items()):
+            lines.append(f"  {kind:10s} x{count}")
+        for event in self.fallback_events:
+            lines.append(f"  {event}")
+        return "\n".join(lines)
+
+
+class _AttemptFailure(Exception):
+    """Internal: one kernel attempt failed; carries the reason for the log."""
+
+    def __init__(self, kind: str, message: str,
+                 cause: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.message = message
+        self.cause = cause
+
+
 class Executor:
     """Binds a graph to a backend and executes it.
 
     Preparation (done once, in ``__init__``) validates the graph, infers all
-    value types, fixes the schedule, selects a kernel per node, and builds
-    the memory plan. ``run`` then only moves data.
+    value types, fixes the schedule, selects a kernel chain per node, and
+    builds the memory plan. ``run`` then only moves data — retrying a node
+    down its chain when an implementation fails.
     """
 
     def __init__(self, graph: Graph, backend: Backend, config: RuntimeConfig) -> None:
@@ -61,16 +166,47 @@ class Executor:
                 self.value_types[name][0] if name else ()
                 for name in node.inputs
             ]
-            impl = backend.select(node, shapes)
-            self.schedule.append(PreparedNode(index=index, node=node, impl=impl))
+            chain = tuple(backend.candidates(node, shapes))
+            self.schedule.append(PreparedNode(
+                index=index, node=node, impl=chain[0], candidates=chain))
         self.context = ExecutionContext(
             threads=config.threads, gemm=backend.gemm_fn)
+        self.fallback_events: list[FallbackEvent] = []
+        self._runs_completed = 0
+        # Shape/dtype checks per attempt: explicit debugging flag, or a
+        # fault plan is installed (corrupt-shape faults must be caught for
+        # the fallback chain to engage).
+        self._validate_attempts = bool(
+            config.validate_kernels or config.fault_plan is not None)
 
     # -- introspection ---------------------------------------------------------
 
     def kernel_plan(self) -> dict[str, str]:
-        """Map node name -> chosen implementation name."""
+        """Map node name -> chosen (primary) implementation name."""
         return {entry.node.name: entry.impl.name for entry in self.schedule}
+
+    def fallback_plan(self) -> dict[str, tuple[str, ...]]:
+        """Map node name -> the full ordered implementation chain."""
+        return {
+            entry.node.name: tuple(impl.name for impl in entry.candidates)
+            for entry in self.schedule
+        }
+
+    def robustness_report(self) -> RobustnessReport:
+        """Fallbacks taken, numeric violations, and injected faults so far."""
+        plan = self.config.fault_plan
+        return RobustnessReport(
+            runs=self._runs_completed,
+            fallback_events=tuple(self.fallback_events),
+            injected_faults=tuple(plan.events) if plan is not None else (),
+        )
+
+    def reset_robustness(self) -> None:
+        """Clear the fallback log and re-arm the fault plan (if any)."""
+        self.fallback_events = []
+        self._runs_completed = 0
+        if self.config.fault_plan is not None:
+            self.config.fault_plan.reset()
 
     # -- execution ----------------------------------------------------------------
 
@@ -96,32 +232,100 @@ class Executor:
             node = entry.node
             inputs = [values[name] if name else np.empty(0) for name in node.inputs]
             started = time.perf_counter() if collect_timings else 0.0
-            try:
-                outputs = entry.impl.fn(inputs, node, self.context)
-            except Exception as exc:
-                raise ExecutionError(
-                    f"kernel {entry.impl.key} failed on node {node.name!r}: {exc}"
-                ) from exc
+            outputs, chosen = self._run_node(entry, inputs)
             if collect_timings:
                 timings.append(NodeTiming(
-                    node=node, impl=entry.impl,
+                    node=node, impl=chosen,
                     seconds=time.perf_counter() - started))
-            if len(outputs) != len(node.outputs):
-                raise ExecutionError(
-                    f"kernel {entry.impl.key} returned {len(outputs)} outputs "
-                    f"for node {node.name!r} declaring {len(node.outputs)}")
             for name, array in zip(node.outputs, outputs):
-                if self.config.validate_kernels:
-                    self._validate_output(node, entry.impl, name, array)
                 values[name] = array
             for dead in release.get(entry.index, ()):
                 values.pop(dead, None)
+        self._runs_completed += 1
         if keep_values:
             return values, timings
         results = {name: values[name] for name in self.graph.output_names}
         return results, timings
 
     # -- internals -------------------------------------------------------------------
+
+    def _run_node(
+        self, entry: PreparedNode, inputs: list[np.ndarray]
+    ) -> tuple[list[np.ndarray], KernelImpl]:
+        """Try the node's candidate chain; return (outputs, chosen impl).
+
+        Raises:
+            FallbackExhaustedError: every candidate failed (the message
+                enumerates each attempt's failure).
+        """
+        node = entry.node
+        chain = (entry.candidates if self.config.kernel_fallback
+                 else entry.candidates[:1])
+        failures: list[tuple[KernelImpl, _AttemptFailure]] = []
+        for attempt, impl in enumerate(chain):
+            try:
+                outputs = self._attempt(node, impl, attempt, inputs)
+            except _AttemptFailure as failure:
+                failures.append((impl, failure))
+                continue
+            for index, (failed, failure) in enumerate(failures):
+                self.fallback_events.append(FallbackEvent(
+                    node_name=node.name, op_type=node.op_type,
+                    failed_impl=failed.name, kind=failure.kind,
+                    message=failure.message, attempt=index,
+                    recovered_impl=impl.name))
+            return outputs, impl
+        for index, (failed, failure) in enumerate(failures):
+            self.fallback_events.append(FallbackEvent(
+                node_name=node.name, op_type=node.op_type,
+                failed_impl=failed.name, kind=failure.kind,
+                message=failure.message, attempt=index,
+                recovered_impl=None))
+        detail = "; ".join(
+            f"{impl.key}: [{failure.kind}] {failure.message}"
+            for impl, failure in failures)
+        last_cause = failures[-1][1].cause if failures else None
+        raise FallbackExhaustedError(
+            f"all {len(chain)} kernel(s) failed on node {node.name!r} "
+            f"({node.op_type}): {detail}"
+        ) from last_cause
+
+    def _attempt(
+        self, node: Node, impl: KernelImpl, attempt: int,
+        inputs: Sequence[np.ndarray],
+    ) -> list[np.ndarray]:
+        """One kernel invocation, fault injection and validation included."""
+        plan = self.config.fault_plan
+        fault = plan.draw(node, impl.name, attempt) if plan is not None else None
+        if fault is not None and fault.mode == "raise":
+            raise _AttemptFailure(
+                "injected",
+                f"injected fault: kernel {impl.key} on node {node.name!r}",
+                InjectedFaultError(
+                    f"injected fault: kernel {impl.key} on node {node.name!r}"))
+        if fault is not None and fault.mode == "slowdown":
+            time.sleep(fault.slowdown_s)
+        try:
+            outputs = impl.fn(inputs, node, self.context)
+        except Exception as exc:
+            raise _AttemptFailure(
+                "raise", f"kernel {impl.key} failed on node {node.name!r}: {exc}",
+                exc) from exc
+        if fault is not None and fault.mode == "nan":
+            outputs = faults_mod.poison_nan(outputs)
+        if fault is not None and fault.mode == "corrupt-shape":
+            outputs = faults_mod.corrupt_shape(outputs)
+        if len(outputs) != len(node.outputs):
+            raise _AttemptFailure(
+                "count",
+                f"kernel {impl.key} returned {len(outputs)} outputs "
+                f"for node {node.name!r} declaring {len(node.outputs)}")
+        for name, array in zip(node.outputs, outputs):
+            if self._validate_attempts:
+                self._validate_output(node, impl, name, array)
+            if self.config.check_numerics:
+                self._check_numerics(node, impl, name, array)
+        return list(outputs)
 
     def _bind_inputs(self, feeds: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
         values: dict[str, np.ndarray] = dict(self.graph.initializers)
@@ -154,10 +358,28 @@ class Executor:
             for dim, actual in zip(expected_shape, array.shape)
         )
         if len(expected_shape) != array.ndim or concrete != array.shape:
-            raise ExecutionError(
+            raise _AttemptFailure(
+                "shape",
                 f"kernel {impl.key}: output {name!r} has shape {array.shape}, "
                 f"inference said {expected_shape}")
         if expected_dtype.np != array.dtype:
-            raise ExecutionError(
+            raise _AttemptFailure(
+                "dtype",
                 f"kernel {impl.key}: output {name!r} has dtype {array.dtype}, "
                 f"inference said {expected_dtype.value}")
+
+    def _check_numerics(
+        self, node: Node, impl: KernelImpl, name: str, array: np.ndarray
+    ) -> None:
+        if array.dtype.kind != "f" or not array.size:
+            return
+        finite = np.isfinite(array)
+        if not finite.all():
+            bad = int(array.size - int(finite.sum()))
+            raise _AttemptFailure(
+                "numeric",
+                f"kernel {impl.key}: output {name!r} has {bad} non-finite "
+                f"value(s) of {array.size}",
+                KernelNumericError(
+                    f"kernel {impl.key}: output {name!r} on node "
+                    f"{node.name!r} has {bad} non-finite value(s)"))

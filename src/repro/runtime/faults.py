@@ -1,0 +1,242 @@
+"""Deterministic fault injection for the runtime.
+
+A :class:`FaultPlan` describes *which* kernel invocations to sabotage and
+*how*; the executor consults it on every attempt and applies the drawn
+fault. Because every probabilistic decision comes from one seeded generator
+consumed in schedule order, the same plan on the same graph produces the
+same faults on every run — tests and benchmarks can exercise each failure
+path reproducibly (same seed → same failures, byte for byte).
+
+Modes:
+
+* ``raise`` — the kernel never runs; :class:`~repro.errors.
+  InjectedFaultError` is raised instead (exercises the exception path of
+  the fallback chain).
+* ``nan`` — the kernel runs, then its first output is poisoned with NaN
+  (exercises ``check_numerics`` / silent-corruption propagation).
+* ``corrupt-shape`` — the kernel runs, then its first output grows a bogus
+  leading axis (exercises output shape validation).
+* ``slowdown`` — the kernel runs after a deliberate sleep (exercises
+  timing robustness without changing numerics).
+
+Plans are built programmatically (:class:`FaultSpec`) or parsed from the
+CLI spec mini-language (:func:`parse_fault_plan`)::
+
+    raise:op=Conv:attempt=0            # primary Conv kernel always raises
+    nan:node=conv1*:p=0.5:seed=7       # half of conv1* invocations, seeded
+    raise:impl=winograd;slowdown:op=Gemm:ms=2
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import fnmatch
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.ir.node import Node
+
+MODES = ("raise", "nan", "corrupt-shape", "slowdown")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: where it applies and what it does.
+
+    Attributes:
+        mode: one of :data:`MODES`.
+        node: ``fnmatch`` pattern on the node name (``None`` = any node).
+        op_type: exact operator type (``None`` = any op).
+        impl: exact kernel implementation name (``None`` = any kernel).
+        attempt: restrict to the Nth attempt in a node's fallback chain
+            (``0`` = the primary kernel only), ``None`` = any attempt.
+        probability: chance the fault fires on a matching invocation;
+            draws come from the plan's seeded generator.
+        max_triggers: stop firing after this many hits (``None`` = no cap).
+        slowdown_s: sleep duration for ``slowdown`` mode.
+    """
+
+    mode: str
+    node: str | None = None
+    op_type: str | None = None
+    impl: str | None = None
+    attempt: int | None = None
+    probability: float = 1.0
+    max_triggers: int | None = None
+    slowdown_s: float = 0.0005
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(
+                f"unknown fault mode {self.mode!r}; expected one of {MODES}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"fault probability must be in [0, 1], got {self.probability}")
+        if self.max_triggers is not None and self.max_triggers < 0:
+            raise ValueError(
+                f"max_triggers must be >= 0, got {self.max_triggers}")
+        if self.slowdown_s < 0:
+            raise ValueError(f"slowdown_s must be >= 0, got {self.slowdown_s}")
+
+    def matches(self, node: Node, impl_name: str, attempt: int) -> bool:
+        """Does this rule target the given kernel invocation?"""
+        if self.op_type is not None and node.op_type != self.op_type:
+            return False
+        if self.node is not None and not fnmatch.fnmatchcase(node.name, self.node):
+            return False
+        if self.impl is not None and impl_name != self.impl:
+            return False
+        if self.attempt is not None and attempt != self.attempt:
+            return False
+        return True
+
+
+@dataclasses.dataclass(frozen=True)
+class InjectedFault:
+    """Record of one fault that actually fired."""
+
+    mode: str
+    node_name: str
+    op_type: str
+    impl: str
+    attempt: int
+
+    def __str__(self) -> str:
+        return (f"{self.mode} on {self.node_name} ({self.op_type}) "
+                f"impl={self.impl} attempt={self.attempt}")
+
+
+class FaultPlan:
+    """A seeded set of fault rules plus the log of faults that fired.
+
+    The plan is stateful: probability draws and ``max_triggers`` counters
+    advance as the executor queries it. :meth:`reset` re-arms the plan to
+    its initial state, after which an identical sequence of queries fires
+    an identical sequence of faults.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec], seed: int = 0) -> None:
+        self.specs: tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = seed
+        self.events: list[InjectedFault] = []
+        self._rng = np.random.default_rng(seed)
+        self._trigger_counts = [0] * len(self.specs)
+
+    def reset(self) -> None:
+        """Re-arm: restore the RNG, trigger counters, and clear the log."""
+        self._rng = np.random.default_rng(self.seed)
+        self._trigger_counts = [0] * len(self.specs)
+        self.events = []
+
+    def draw(self, node: Node, impl_name: str, attempt: int) -> FaultSpec | None:
+        """Decide whether a fault fires on this invocation (and log it)."""
+        for index, spec in enumerate(self.specs):
+            if not spec.matches(node, impl_name, attempt):
+                continue
+            if (spec.max_triggers is not None
+                    and self._trigger_counts[index] >= spec.max_triggers):
+                continue
+            if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                continue
+            self._trigger_counts[index] += 1
+            self.events.append(InjectedFault(
+                mode=spec.mode, node_name=node.name, op_type=node.op_type,
+                impl=impl_name, attempt=attempt))
+            return spec
+        return None
+
+    def __repr__(self) -> str:
+        return (f"FaultPlan({len(self.specs)} spec(s), seed={self.seed}, "
+                f"{len(self.events)} fired)")
+
+
+def poison_nan(outputs: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Copy of ``outputs`` with the first float output's first element NaN."""
+    poisoned = list(outputs)
+    for index, array in enumerate(poisoned):
+        if array.dtype.kind == "f" and array.size:
+            bad = array.copy()
+            bad.reshape(-1)[0] = np.nan
+            poisoned[index] = bad
+            break
+    return poisoned
+
+
+def corrupt_shape(outputs: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Copy of ``outputs`` whose first output grew a bogus leading axis."""
+    corrupted = list(outputs)
+    if corrupted:
+        corrupted[0] = np.expand_dims(corrupted[0], 0)
+    return corrupted
+
+
+_SPEC_KEYS = {
+    "node": "node",
+    "op": "op_type",
+    "impl": "impl",
+    "attempt": "attempt",
+    "p": "probability",
+    "max": "max_triggers",
+    "ms": "slowdown_s",
+}
+
+_USAGE = (
+    "fault spec syntax: MODE[:KEY=VALUE]* joined by ';' — modes "
+    f"{MODES}; keys: node=<fnmatch>, op=<OpType>, impl=<name>, "
+    "attempt=<int>, p=<float 0..1>, max=<int>, ms=<float milliseconds>, "
+    "seed=<int>. Example: 'raise:op=Conv:attempt=0;nan:node=conv1*:p=0.5'"
+)
+
+
+def parse_fault_plan(text: str, seed: int = 0) -> FaultPlan:
+    """Parse the CLI mini-language into a :class:`FaultPlan`.
+
+    ``seed=N`` may appear as a key in any clause and sets the plan seed
+    (an explicit ``seed`` argument is overridden by it).
+
+    Raises:
+        ValueError: malformed spec; the message includes the full syntax.
+    """
+    specs: list[FaultSpec] = []
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        mode, *pairs = clause.split(":")
+        mode = mode.strip()
+        if mode not in MODES:
+            raise ValueError(f"unknown fault mode {mode!r}. {_USAGE}")
+        kwargs: dict[str, object] = {"mode": mode}
+        for pair in pairs:
+            key, sep, value = pair.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if not sep or not value:
+                raise ValueError(f"malformed key=value {pair!r}. {_USAGE}")
+            if key == "seed":
+                seed = int(value)
+                continue
+            if key not in _SPEC_KEYS:
+                raise ValueError(f"unknown fault key {key!r}. {_USAGE}")
+            field = _SPEC_KEYS[key]
+            try:
+                if field == "attempt" or field == "max_triggers":
+                    kwargs[field] = int(value)
+                elif field == "probability":
+                    kwargs[field] = float(value)
+                elif field == "slowdown_s":
+                    kwargs[field] = float(value) / 1e3
+                else:
+                    kwargs[field] = value
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad value for {key!r}: {value!r} ({exc}). {_USAGE}"
+                ) from None
+        try:
+            specs.append(FaultSpec(**kwargs))  # type: ignore[arg-type]
+        except ValueError as exc:
+            raise ValueError(f"{exc}. {_USAGE}") from None
+    if not specs:
+        raise ValueError(f"empty fault spec. {_USAGE}")
+    return FaultPlan(specs, seed=seed)

@@ -20,7 +20,8 @@ import numpy as np
 from repro.backends.backend import Backend, get_backend
 from repro.config import RuntimeConfig, get_default_config
 from repro.ir.graph import Graph
-from repro.runtime.executor import Executor
+from repro.runtime.executor import Executor, RobustnessReport
+from repro.runtime.faults import FaultPlan
 from repro.runtime.memory_planner import MemoryPlan
 from repro.runtime.profiler import ProfileResult, collate
 from repro.tensor.tensor import Tensor
@@ -38,6 +39,9 @@ class InferenceSession:
         threads: int | None = None,
         optimize: bool | None = None,
         config: RuntimeConfig | None = None,
+        check_numerics: bool | None = None,
+        kernel_fallback: bool | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         """Prepare ``graph`` for execution.
 
@@ -48,12 +52,24 @@ class InferenceSession:
             optimize: overrides whether the simplification pipeline runs.
             config: base runtime configuration (defaults to the process-wide
                 default).
+            check_numerics: overrides whether NaN/Inf kernel outputs count
+                as failures (and trigger kernel fallback).
+            kernel_fallback: overrides whether failing kernels fall back to
+                the next applicable implementation.
+            fault_plan: installs a deterministic fault-injection plan (see
+                :mod:`repro.runtime.faults`).
         """
         base = config or get_default_config()
         if threads is not None:
             base = base.replace(threads=threads)
         if optimize is not None:
             base = base.replace(optimize=optimize)
+        if check_numerics is not None:
+            base = base.replace(check_numerics=check_numerics)
+        if kernel_fallback is not None:
+            base = base.replace(kernel_fallback=kernel_fallback)
+        if fault_plan is not None:
+            base = base.replace(fault_plan=fault_plan)
         if isinstance(backend, str):
             backend = get_backend(backend)
         base = base.replace(backend=backend.name)
@@ -85,6 +101,18 @@ class InferenceSession:
         """Which implementation was selected for every node."""
         return self._executor.kernel_plan()
 
+    def fallback_plan(self) -> dict[str, tuple[str, ...]]:
+        """The full ordered kernel chain bound to every node."""
+        return self._executor.fallback_plan()
+
+    def robustness_report(self) -> RobustnessReport:
+        """Fallbacks taken, numeric violations, and injected faults so far."""
+        return self._executor.robustness_report()
+
+    def reset_robustness(self) -> None:
+        """Clear the fallback log and re-arm the fault plan (if any)."""
+        self._executor.reset_robustness()
+
     # -- execution ------------------------------------------------------------------
 
     def run(self, feeds: Feed) -> dict[str, np.ndarray]:
@@ -102,7 +130,14 @@ class InferenceSession:
     def time(
         self, feeds: Feed, repeats: int = 10, warmup: int = 2
     ) -> list[float]:
-        """End-to-end wall times (seconds) for ``repeats`` runs after warmup."""
+        """End-to-end wall times (seconds) for ``repeats`` runs after warmup.
+
+        Raises:
+            ValueError: ``repeats < 1`` or ``warmup < 0`` (caught up front
+                rather than surfacing later as an opaque ``statistics``
+                error on an empty sample list).
+        """
+        _validate_protocol(repeats, warmup)
         raw = self._unwrap(feeds)
         for _ in range(warmup):
             self._executor.run(raw)
@@ -116,7 +151,12 @@ class InferenceSession:
     def profile(
         self, feeds: Feed, repeats: int = 5, warmup: int = 1
     ) -> ProfileResult:
-        """Per-layer timing statistics over ``repeats`` instrumented runs."""
+        """Per-layer timing statistics over ``repeats`` instrumented runs.
+
+        Raises:
+            ValueError: ``repeats < 1`` or ``warmup < 0``.
+        """
+        _validate_protocol(repeats, warmup)
         raw = self._unwrap(feeds)
         for _ in range(warmup):
             self._executor.run(raw)
@@ -134,3 +174,11 @@ class InferenceSession:
             name: value.data if isinstance(value, Tensor) else np.asarray(value)
             for name, value in feeds.items()
         }
+
+
+def _validate_protocol(repeats: int, warmup: int) -> None:
+    """Reject measurement protocols that could only fail later, opaquely."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")

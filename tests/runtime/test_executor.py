@@ -112,9 +112,15 @@ class TestExecution:
 
 
 class TestKernelValidation:
-    """validate_kernels mode catches kernels that lie about their output."""
+    """validate_kernels mode catches kernels that lie about their output.
 
-    def _executor_with_lying_conv(self, lie):
+    With kernel fallback enabled (the default) a lying kernel is *recovered*
+    — the node retries with the next applicable implementation and the lie
+    is logged as a FallbackEvent. The strict tests therefore disable
+    fallback to assert the raise.
+    """
+
+    def _executor_with_lying_conv(self, lie, **config):
         from repro.kernels.registry import REGISTRY, KernelImpl
 
         def lying_conv(inputs, node, ctx):
@@ -129,7 +135,7 @@ class TestKernelValidation:
                           preferences={"Conv": ("lying_conv_test",)},
                           include_experimental=True)
         return Executor(tiny_classifier(), backend,
-                        RuntimeConfig(validate_kernels=True))
+                        RuntimeConfig(validate_kernels=True, **config))
 
     def teardown_method(self):
         from repro.kernels.registry import REGISTRY
@@ -139,14 +145,33 @@ class TestKernelValidation:
             pass
 
     def test_wrong_shape_caught(self, rng):
-        executor = self._executor_with_lying_conv(lambda out: out[:, :, :-1])
+        executor = self._executor_with_lying_conv(
+            lambda out: out[:, :, :-1], kernel_fallback=False)
         x = rng.standard_normal((1, 3, 8, 8)).astype(np.float32)
         with pytest.raises(ExecutionError, match="has shape"):
             executor.run({"input": x})
 
     def test_wrong_dtype_caught(self, rng):
         executor = self._executor_with_lying_conv(
-            lambda out: out.astype(np.float64))
+            lambda out: out.astype(np.float64), kernel_fallback=False)
         x = rng.standard_normal((1, 3, 8, 8)).astype(np.float32)
         with pytest.raises(ExecutionError, match="dtype"):
             executor.run({"input": x})
+
+    def test_wrong_shape_recovered_by_fallback(self, rng):
+        executor = self._executor_with_lying_conv(lambda out: out[:, :, :-1])
+        x = rng.standard_normal((1, 3, 8, 8)).astype(np.float32)
+        executor.run({"input": x})
+        report = executor.robustness_report()
+        assert report.counts_by_kind() == {"shape": 1}
+        (event,) = report.fallback_events
+        assert event.failed_impl == "lying_conv_test"
+        assert event.recovered_impl is not None
+
+    def test_wrong_dtype_recovered_by_fallback(self, rng):
+        executor = self._executor_with_lying_conv(
+            lambda out: out.astype(np.float64))
+        x = rng.standard_normal((1, 3, 8, 8)).astype(np.float32)
+        outputs, _ = executor.run({"input": x})
+        assert next(iter(outputs.values())).dtype == np.float32
+        assert executor.robustness_report().counts_by_kind() == {"dtype": 1}
