@@ -8,6 +8,7 @@ from repro.bench.harness import (
     time_model,
     time_session,
 )
+from repro.bench.journal import JournalEntry, RunJournal, cell_key, open_journal
 from repro.bench.layerwise import (
     STANDARD_CONV_CASES,
     ConvCase,
@@ -34,6 +35,10 @@ __all__ = [
     "Exclusion",
     "FailureRow",
     "Figure2Result",
+    "JournalEntry",
+    "RunJournal",
+    "cell_key",
+    "open_journal",
     "run_guarded",
     "LayerRaceResult",
     "RegressionReport",

@@ -16,6 +16,7 @@ from repro.errors import FrameworkUnavailableError
 from repro.frameworks.adapters import EVALUATION_ORDER
 from repro.frameworks.base import Measurement, get_adapter
 from repro.bench.harness import FailureRow, run_guarded
+from repro.bench.journal import RunJournal, open_journal
 from repro.bench.reporting import format_csv, format_table
 from repro.models.zoo import FIGURE2_MODELS
 
@@ -40,6 +41,7 @@ class Figure2Result:
     threads: int
     repeats: int
     failures: list[FailureRow] = dataclasses.field(default_factory=list)
+    resumed: int = 0    # cells answered from a run journal, not re-measured
 
     @property
     def complete(self) -> bool:
@@ -143,6 +145,7 @@ def run_figure2(
     image_size: int | None = None,
     verbose: bool = False,
     retries: int = 1,
+    journal: "RunJournal | str | None" = None,
 ) -> Figure2Result:
     """Measure every (framework, model) cell of Figure 2.
 
@@ -160,10 +163,27 @@ def run_figure2(
     (round-robin) rather than measured back to back, so slow drift in
     machine state (thermal, cache, background load) hits every framework
     equally instead of biasing whichever happened to run first.
+
+    With a ``journal`` (a :class:`~repro.bench.journal.RunJournal` or a
+    path to one), every completed cell is appended to the JSONL journal as
+    it finishes, and cells the journal already holds — same framework,
+    model, and measurement protocol — are replayed from it instead of
+    re-measured. A campaign killed after N cells therefore resumes at cell
+    N+1; ``Figure2Result.resumed`` counts the replayed cells.
     """
     import time
 
     from repro.bench.workloads import model_input
+
+    book = open_journal(journal)
+    resumed = 0
+
+    def key_for(framework: str, model: str) -> dict:
+        return {
+            "experiment": "figure2", "framework": framework, "model": model,
+            "batch": batch, "threads": threads, "image_size": image_size,
+            "repeats": repeats, "warmup": warmup,
+        }
 
     measurements: list[Measurement] = []
     exclusions: list[Exclusion] = []
@@ -171,6 +191,24 @@ def run_figure2(
     for model in models:
         prepared = {}
         for framework in frameworks:
+            if book is not None:
+                entry = book.get(**key_for(framework, model))
+                if entry is not None:
+                    resumed += 1
+                    if entry.kind == "measurement":
+                        measurements.append(Measurement(
+                            framework=framework, model=model,
+                            times=tuple(entry.payload["times"])))
+                    elif entry.kind == "exclusion":
+                        exclusions.append(Exclusion(
+                            framework, model,
+                            str(entry.payload.get("reason", ""))))
+                    else:
+                        failures.append(entry.to_failure_row())
+                    if verbose:
+                        print(f"[figure2] {framework:8s} {model:13s} "
+                              f"resumed from journal ({entry.kind})")
+                    continue
             adapter = get_adapter(framework)
             try:
                 runnable, failure = run_guarded(
@@ -182,12 +220,16 @@ def run_figure2(
                     reraise=(FrameworkUnavailableError,))
             except FrameworkUnavailableError as exc:
                 exclusions.append(Exclusion(framework, model, str(exc)))
+                if book is not None:
+                    book.record_exclusion(key_for(framework, model), str(exc))
                 if verbose:
                     print(f"[figure2] {framework:8s} {model:13s} "
                           f"excluded: {exc}")
                 continue
             if failure is not None:
                 failures.append(failure)
+                if book is not None:
+                    book.record_failure(key_for(framework, model), failure)
                 if verbose:
                     print(f"[figure2] {failure}")
                 continue
@@ -206,6 +248,8 @@ def run_figure2(
                 retries=retries)
             if failure is not None:
                 failures.append(failure)
+                if book is not None:
+                    book.record_failure(key_for(framework, model), failure)
                 if verbose:
                     print(f"[figure2] {failure}")
                 del prepared[framework]
@@ -225,6 +269,8 @@ def run_figure2(
                     # Drop the framework from the remaining rounds: its
                     # cell is reported as failed, the others keep going.
                     failures.append(failure)
+                    if book is not None:
+                        book.record_failure(key_for(framework, model), failure)
                     if verbose:
                         print(f"[figure2] {failure}")
                     del prepared[framework]
@@ -235,6 +281,9 @@ def run_figure2(
             measurement = Measurement(
                 framework=framework, model=model, times=tuple(samples))
             measurements.append(measurement)
+            if book is not None:
+                book.record_measurement(
+                    key_for(framework, model), measurement.times)
             if verbose:
                 print(f"[figure2] {framework:8s} {model:13s} "
                       f"{measurement.median * 1e3:9.2f} ms "
@@ -242,4 +291,5 @@ def run_figure2(
     return Figure2Result(
         measurements=measurements, exclusions=exclusions,
         models=tuple(models), frameworks=tuple(frameworks),
-        threads=threads, repeats=repeats, failures=failures)
+        threads=threads, repeats=repeats, failures=failures,
+        resumed=resumed)

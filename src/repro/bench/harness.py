@@ -66,6 +66,12 @@ def run_guarded(
     ``KeyboardInterrupt``) propagate unchanged, as do ``reraise``
     subclasses even when they fall under ``catch`` (used to let expected,
     deterministic unavailability — exclusions — bypass the retry loop).
+
+    Retry accounting is never silent: ``FailureRow.attempts`` is the exact
+    number of calls made, and an exception that escapes through ``reraise``
+    after earlier retried failures carries the count it consumed as an
+    ``attempts_consumed`` attribute — a cell that burned tries before
+    turning out to be unavailable still reports every one of them.
     """
     attempts = 0
     while True:
@@ -74,6 +80,9 @@ def run_guarded(
             return fn(), None
         except catch as exc:
             if isinstance(exc, reraise):
+                # Don't swallow earlier retries: the escaping exception
+                # reports how many tries this boundary consumed.
+                exc.attempts_consumed = attempts
                 raise
             if attempts > retries:
                 return None, FailureRow(
@@ -133,13 +142,42 @@ def time_model(
     batch: int = 1,
     image_size: int | None = None,
     seed: int = 0,
+    deadline_ms: float | None = None,
+    memory_budget_bytes: int | None = None,
+    budget_mode: str = "reject",
 ) -> RunStats:
-    """Build, prepare, and time a zoo model end to end."""
-    graph = zoo.build(model_name, batch=batch, image_size=image_size, seed=seed)
-    session = InferenceSession(
-        graph, backend=backend, threads=threads, optimize=optimize)
-    x = model_input(model_name, batch=batch, image_size=image_size, seed=seed)
+    """Build, prepare, and time a zoo model end to end.
+
+    With a memory budget, admission control runs before anything executes;
+    in ``budget_mode="degrade"`` an over-budget batched workload is retried
+    at batch 1 (the session itself already tried the arena-friendly
+    schedule), and the stats are labelled accordingly. A model that cannot
+    fit even degraded raises :class:`~repro.errors.MemoryBudgetError`,
+    which the sweep-level failure boundary converts into a
+    :class:`FailureRow`.
+    """
+    from repro.errors import MemoryBudgetError
+
     backend_name = backend if isinstance(backend, str) else backend.name
-    return time_session(
-        session, {"input": x}, repeats=repeats, warmup=warmup,
-        label=f"{model_name}/{backend_name}/t{threads}")
+
+    def build(at_batch: int) -> "tuple[InferenceSession, np.ndarray]":
+        graph = zoo.build(
+            model_name, batch=at_batch, image_size=image_size, seed=seed)
+        session = InferenceSession(
+            graph, backend=backend, threads=threads, optimize=optimize,
+            memory_budget_bytes=memory_budget_bytes, budget_mode=budget_mode)
+        x = model_input(
+            model_name, batch=at_batch, image_size=image_size, seed=seed)
+        return session, x
+
+    label = f"{model_name}/{backend_name}/t{threads}"
+    try:
+        session, x = build(batch)
+    except MemoryBudgetError:
+        if budget_mode != "degrade" or batch <= 1:
+            raise
+        session, x = build(1)
+        label += "/degraded-batch-1"
+    times = session.time(
+        {"input": x}, repeats=repeats, warmup=warmup, deadline_ms=deadline_ms)
+    return RunStats(label=label, times=tuple(times))

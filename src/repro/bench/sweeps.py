@@ -15,6 +15,7 @@ import time
 
 from repro.backends.backend import Backend
 from repro.bench.harness import FailureRow, run_guarded
+from repro.bench.journal import RunJournal, open_journal
 from repro.bench.reporting import format_csv, format_table
 from repro.bench.workloads import model_input
 from repro.models import zoo
@@ -46,6 +47,7 @@ class SweepResult:
     parameter: str                      # "batch" | "image_size"
     points: tuple[SweepPoint, ...]
     failures: tuple[FailureRow, ...] = ()
+    resumed: int = 0    # cells replayed from a run journal
 
     @property
     def complete(self) -> bool:
@@ -88,22 +90,98 @@ class SweepResult:
 def _time_config(
     model: str, batch: int, image_size: int | None,
     backend: "str | Backend", threads: int, repeats: int, warmup: int,
+    deadline_ms: float | None = None,
+    memory_budget_bytes: int | None = None,
+    budget_mode: str = "reject",
 ) -> SweepPoint:
     graph = zoo.build(model, batch=batch, image_size=image_size)
-    session = InferenceSession(graph, backend=backend, threads=threads)
+    session = InferenceSession(
+        graph, backend=backend, threads=threads,
+        memory_budget_bytes=memory_budget_bytes, budget_mode=budget_mode)
     x = model_input(model, batch=batch, image_size=image_size)
     feed = {"input": x}
     for _ in range(warmup):
-        session.run(feed)
+        session.run(feed, deadline_ms=deadline_ms)
     times = []
     for _ in range(repeats):
         started = time.perf_counter()
-        session.run(feed)
+        session.run(feed, deadline_ms=deadline_ms)
         times.append(time.perf_counter() - started)
     return SweepPoint(
         model=model, batch=batch,
         image_size=image_size or zoo.get_entry(model).image_size,
         times=tuple(times))
+
+
+def _run_sweep(
+    model: str,
+    parameter: str,
+    cells: "tuple[tuple[int, int | None], ...]",  # (batch, image_size) pairs
+    backend: "str | Backend",
+    threads: int,
+    repeats: int,
+    warmup: int,
+    retries: int,
+    deadline_ms: float | None,
+    memory_budget_bytes: int | None,
+    budget_mode: str,
+    journal: "RunJournal | str | None",
+) -> SweepResult:
+    """Shared sweep engine: failure boundary + run-journal per cell."""
+    _validate_protocol(repeats, warmup)
+    backend_name = backend if isinstance(backend, str) else backend.name
+    book = open_journal(journal)
+    points: list[SweepPoint] = []
+    failures: list[FailureRow] = []
+    resumed = 0
+    for batch, image_size in cells:
+        varying = batch if parameter == "batch" else image_size
+        label = f"{model}@{parameter}={varying}"
+        key = {
+            "experiment": f"{parameter}_sweep", "model": model,
+            "backend": backend_name, "batch": batch,
+            "image_size": image_size, "threads": threads,
+            "repeats": repeats, "warmup": warmup,
+        }
+        if book is not None:
+            entry = book.get(**key)
+            if entry is not None:
+                resumed += 1
+                if entry.kind == "measurement":
+                    points.append(SweepPoint(
+                        model=model, batch=batch,
+                        image_size=int(entry.payload.get(
+                            "resolved_image_size",
+                            image_size or zoo.get_entry(model).image_size)),
+                        times=tuple(entry.payload["times"])))
+                else:
+                    failures.append(entry.to_failure_row())
+                continue
+        # Guardrail kwargs are passed only when armed, so tests (and
+        # downstream code) stubbing _time_config with the historical
+        # 7-argument signature keep working.
+        guardrails: dict = {}
+        if deadline_ms is not None:
+            guardrails["deadline_ms"] = deadline_ms
+        if memory_budget_bytes is not None:
+            guardrails["memory_budget_bytes"] = memory_budget_bytes
+            guardrails["budget_mode"] = budget_mode
+        point, failure = run_guarded(
+            lambda: _time_config(model, batch, image_size, backend, threads,
+                                 repeats, warmup, **guardrails),
+            label=label, retries=retries)
+        if failure is not None:
+            failures.append(failure)
+            if book is not None:
+                book.record_failure(key, failure)
+        else:
+            points.append(point)
+            if book is not None:
+                book.record_measurement(
+                    key, point.times, resolved_image_size=point.image_size)
+    return SweepResult(model=model, parameter=parameter,
+                       points=tuple(points), failures=tuple(failures),
+                       resumed=resumed)
 
 
 def batch_sweep(
@@ -115,28 +193,30 @@ def batch_sweep(
     repeats: int = 5,
     warmup: int = 1,
     retries: int = 1,
+    deadline_ms: float | None = None,
+    memory_budget_bytes: int | None = None,
+    budget_mode: str = "reject",
+    journal: "RunJournal | str | None" = None,
 ) -> SweepResult:
     """Latency vs batch size at fixed resolution.
 
     A configuration that keeps failing with an
     :class:`~repro.errors.OrpheusError` (after ``retries`` extra tries)
     becomes a :class:`~repro.bench.harness.FailureRow` on the result
-    instead of aborting the sweep.
+    instead of aborting the sweep. That boundary also absorbs the resource
+    guardrails: an over-budget batch (``memory_budget_bytes``) or an
+    expired per-run deadline (``deadline_ms``) turns into a failure row
+    and the remaining batches keep measuring.
+
+    With a ``journal``, each completed cell is appended as it finishes and
+    already-recorded cells are replayed instead of re-measured
+    (``SweepResult.resumed`` counts them), so a killed sweep restarts
+    where it died.
     """
-    _validate_protocol(repeats, warmup)
-    points: list[SweepPoint] = []
-    failures: list[FailureRow] = []
-    for batch in batches:
-        point, failure = run_guarded(
-            lambda: _time_config(model, batch, image_size, backend, threads,
-                                 repeats, warmup),
-            label=f"{model}@batch={batch}", retries=retries)
-        if failure is not None:
-            failures.append(failure)
-        else:
-            points.append(point)
-    return SweepResult(model=model, parameter="batch", points=tuple(points),
-                       failures=tuple(failures))
+    return _run_sweep(
+        model, "batch", tuple((b, image_size) for b in batches),
+        backend, threads, repeats, warmup, retries,
+        deadline_ms, memory_budget_bytes, budget_mode, journal)
 
 
 def resolution_sweep(
@@ -147,23 +227,19 @@ def resolution_sweep(
     repeats: int = 5,
     warmup: int = 1,
     retries: int = 1,
+    deadline_ms: float | None = None,
+    memory_budget_bytes: int | None = None,
+    budget_mode: str = "reject",
+    journal: "RunJournal | str | None" = None,
 ) -> SweepResult:
     """Latency vs input resolution at batch 1.
 
-    Degrades per point like :func:`batch_sweep`: failing configurations
-    turn into failure rows, the sweep always completes.
+    Degrades per point like :func:`batch_sweep` (failure rows, resource
+    guardrails, resumable journal): failing configurations turn into
+    failure rows, the sweep always completes, and a journal lets it
+    resume.
     """
-    _validate_protocol(repeats, warmup)
-    points: list[SweepPoint] = []
-    failures: list[FailureRow] = []
-    for size in image_sizes:
-        point, failure = run_guarded(
-            lambda: _time_config(model, 1, size, backend, threads, repeats,
-                                 warmup),
-            label=f"{model}@image_size={size}", retries=retries)
-        if failure is not None:
-            failures.append(failure)
-        else:
-            points.append(point)
-    return SweepResult(model=model, parameter="image_size",
-                       points=tuple(points), failures=tuple(failures))
+    return _run_sweep(
+        model, "image_size", tuple((1, size) for size in image_sizes),
+        backend, threads, repeats, warmup, retries,
+        deadline_ms, memory_budget_bytes, budget_mode, journal)

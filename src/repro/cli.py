@@ -103,8 +103,10 @@ def _build_parser() -> argparse.ArgumentParser:
     figure2.add_argument("--retries", type=int, default=1,
                          help="extra tries per failing cell before it "
                               "degrades into a failure row")
+    _journal_flags(figure2)
     table1 = bench_sub.add_parser("table1", help="Table I")
     table1.add_argument("--rationale", action="store_true")
+    _journal_flags(table1)
     layers = bench_sub.add_parser("layers", help="conv algorithm race")
     layers.add_argument("--repeats", type=int, default=5)
     baseline = bench_sub.add_parser(
@@ -124,6 +126,7 @@ def _session_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-optimize", action="store_true")
     parser.add_argument("--seed", type=int, default=0)
     _robustness_flags(parser)
+    _guardrail_flags(parser)
 
 
 def _robustness_flags(parser: argparse.ArgumentParser) -> None:
@@ -143,6 +146,44 @@ def _robustness_flags(parser: argparse.ArgumentParser) -> None:
         help="seed for --inject-faults probability draws")
 
 
+def _journal_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="append every completed cell to this JSONL run-journal")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="load the journal first and skip every cell it already "
+             "holds (without this flag an existing journal is restarted)")
+
+
+def _open_journal(args: argparse.Namespace):
+    """The RunJournal requested by --journal/--resume, or None."""
+    if not getattr(args, "journal", None):
+        if getattr(args, "resume", False):
+            raise SystemExit("--resume requires --journal PATH")
+        return None
+    from repro.bench.journal import RunJournal
+    return RunJournal(args.journal, resume=args.resume)
+
+
+def _guardrail_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="wall-clock budget per run; expiry raises "
+             "DeadlineExceededError with the partial per-layer timeline")
+    parser.add_argument(
+        "--node-timeout-ms", type=float, default=None,
+        help="soft per-node timeout (flagged at the next node boundary)")
+    parser.add_argument(
+        "--memory-budget-mb", type=float, default=None,
+        help="reject runs whose planned peak resident activations exceed "
+             "this budget (admission control, before anything executes)")
+    parser.add_argument(
+        "--budget-mode", choices=("reject", "degrade"), default="reject",
+        help="what to do with an over-budget run: reject up front, or "
+             "degrade to the arena-friendly schedule first")
+
+
 def _session_kwargs(args: argparse.Namespace) -> dict:
     """Robustness-related InferenceSession kwargs from parsed flags."""
     kwargs: dict = {}
@@ -154,6 +195,13 @@ def _session_kwargs(args: argparse.Namespace) -> dict:
         from repro.runtime.faults import parse_fault_plan
         kwargs["fault_plan"] = parse_fault_plan(
             args.inject_faults, seed=args.fault_seed)
+    if getattr(args, "deadline_ms", None) is not None:
+        kwargs["deadline_ms"] = args.deadline_ms
+    if getattr(args, "node_timeout_ms", None) is not None:
+        kwargs["node_timeout_ms"] = args.node_timeout_ms
+    if getattr(args, "memory_budget_mb", None) is not None:
+        kwargs["memory_budget_bytes"] = int(args.memory_budget_mb * (1 << 20))
+        kwargs["budget_mode"] = args.budget_mode
     return kwargs
 
 
@@ -360,7 +408,11 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.experiment == "table1":
         from repro.bench.table1 import render_table1
-        print(render_table1(with_rationale=args.rationale))
+        journal = _open_journal(args)
+        print(render_table1(with_rationale=args.rationale, journal=journal))
+        if journal is not None:
+            print(f"journal: {len(journal)} cell(s) recorded at "
+                  f"{journal.path} ({journal.skipped} resumed)")
         return 0
     if args.experiment == "layers":
         from repro.bench.layerwise import race_conv_impls
@@ -381,6 +433,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.figure2 import run_figure2
     from repro.frameworks.adapters import EVALUATION_ORDER
     from repro.models.zoo import FIGURE2_MODELS
+    journal = _open_journal(args)
     result = run_figure2(
         models=tuple(args.models or FIGURE2_MODELS),
         frameworks=tuple(args.frameworks or EVALUATION_ORDER),
@@ -389,12 +442,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         image_size=args.image_size,
         verbose=True,
         retries=args.retries,
+        journal=journal,
     )
     print()
     print(result.chart() if args.chart else result.table())
     print(f"\nrobustness: {len(result.measurements)} cell(s) measured, "
           f"{len(result.exclusions)} excluded, "
           f"{len(result.failures)} failed")
+    if journal is not None:
+        print(f"journal: resumed {result.resumed} cell(s), "
+              f"{len(journal)} total recorded at {journal.path}")
     for failure in result.failures:
         print(f"  {failure}")
     if args.csv:

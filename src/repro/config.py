@@ -42,6 +42,22 @@ class RuntimeConfig:
         fault_plan: optional :class:`~repro.runtime.faults.FaultPlan`
             injecting deterministic faults into kernel invocations (tests
             and chaos benchmarking); ``None`` disables injection.
+        deadline_ms: wall-clock budget for one ``run``; the executor checks
+            a monotonic deadline between nodes and raises
+            :class:`~repro.errors.DeadlineExceededError` (carrying the
+            partial per-layer timeline) once it is spent. ``None`` = no
+            deadline.
+        node_timeout_ms: soft per-node timeout — a single node that takes
+            longer is reported as a deadline violation after it returns
+            (kernels cannot be preempted mid-call). ``None`` disables it.
+        memory_budget_bytes: admission-control budget; a session whose
+            memory plan needs more peak resident activation bytes is
+            rejected at prepare time with
+            :class:`~repro.errors.MemoryBudgetError`. ``None`` = unlimited.
+        budget_mode: what admission control does with an over-budget run:
+            ``"reject"`` raises immediately; ``"degrade"`` first retries
+            with the arena-friendly schedule (``memory_planning=True``) and
+            only rejects when even that cannot fit.
     """
 
     threads: int = 1
@@ -52,10 +68,29 @@ class RuntimeConfig:
     kernel_fallback: bool = True
     check_numerics: bool = False
     fault_plan: "FaultPlan | None" = None
+    deadline_ms: float | None = None
+    node_timeout_ms: float | None = None
+    memory_budget_bytes: int | None = None
+    budget_mode: str = "reject"
 
     def __post_init__(self) -> None:
         if self.threads < 1:
             raise ValueError(f"threads must be >= 1, got {self.threads}")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be > 0, got {self.deadline_ms}")
+        if self.node_timeout_ms is not None and self.node_timeout_ms <= 0:
+            raise ValueError(
+                f"node_timeout_ms must be > 0, got {self.node_timeout_ms}")
+        if (self.memory_budget_bytes is not None
+                and self.memory_budget_bytes <= 0):
+            raise ValueError(
+                f"memory_budget_bytes must be > 0, got "
+                f"{self.memory_budget_bytes}")
+        if self.budget_mode not in ("reject", "degrade"):
+            raise ValueError(
+                f"budget_mode must be 'reject' or 'degrade', got "
+                f"{self.budget_mode!r}")
 
     def replace(self, **changes: object) -> "RuntimeConfig":
         """Return a copy with the given fields changed."""

@@ -67,6 +67,64 @@ class FallbackExhaustedError(ExecutionError):
     """
 
 
+class DeadlineExceededError(ExecutionError):
+    """A run overran its wall-clock budget (``RuntimeConfig.deadline_ms``).
+
+    The executor checks a monotonic deadline between nodes (and, with
+    ``node_timeout_ms``, flags any single node that overstays its soft
+    timeout). The exception carries the partial per-layer timeline so a
+    killed run is still diagnosable:
+
+    Attributes:
+        partial_timings: the :class:`~repro.runtime.executor.NodeTiming`
+            list for every node that completed before expiry.
+        completed_nodes / total_nodes: progress through the schedule.
+        elapsed_s: wall-clock seconds spent when the watchdog fired.
+        deadline_s: the budget that was exceeded, in seconds.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        partial_timings: tuple = (),
+        completed_nodes: int = 0,
+        total_nodes: int = 0,
+        elapsed_s: float = 0.0,
+        deadline_s: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.partial_timings = tuple(partial_timings)
+        self.completed_nodes = completed_nodes
+        self.total_nodes = total_nodes
+        self.elapsed_s = elapsed_s
+        self.deadline_s = deadline_s
+
+
+class MemoryBudgetError(OrpheusError):
+    """A run was rejected up front because it cannot fit the memory budget.
+
+    Raised at session-prepare time by admission control
+    (``RuntimeConfig.memory_budget_bytes``): the memory plan's peak resident
+    activation bytes exceed the budget, and ``budget_mode`` offered no
+    acceptable degradation. Nothing has executed when this is raised.
+
+    Attributes:
+        required_bytes: peak resident activation bytes the run would need.
+        budget_bytes: the configured budget.
+    """
+
+    def __init__(self, message: str, *, required_bytes: int = 0,
+                 budget_bytes: int = 0) -> None:
+        super().__init__(message)
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes
+
+
+class JournalError(OrpheusError):
+    """A run-journal file is unreadable or version-incompatible."""
+
+
 class InjectedFaultError(ExecutionError):
     """A deliberately injected fault fired (``FaultPlan`` mode ``raise``).
 

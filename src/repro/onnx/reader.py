@@ -16,15 +16,33 @@ from repro.ops import validate_node
 from repro.onnx.schema import GraphProto, ModelProto, ValueInfoProto
 from repro.tensor.dtype import DType
 
+#: Hard cap on graph size. Model files cross the trust boundary; a hostile
+#: GraphProto enumerating millions of nodes must fail with a catchable
+#: OnnxError before per-node validation starts chewing through them.
+MAX_GRAPH_NODES = 100_000
+
 
 def _value_info(proto: ValueInfoProto) -> ValueInfo:
+    # Fuzz finding: a bitflip can blank the name or scramble the dtype
+    # code; both must surface as OnnxError at the ingestion boundary, not
+    # as the IR's internal ValueError.
+    if not proto.name:
+        raise OnnxError("graph input/output without a name (corrupt model)")
     dims = tuple(-1 if isinstance(dim, str) or dim < 0 else int(dim)
                  for dim in proto.dims)
-    return ValueInfo(proto.name, dims, DType.from_onnx(proto.elem_type))
+    try:
+        dtype = DType.from_onnx(proto.elem_type)
+    except ValueError as exc:
+        raise OnnxError(f"value {proto.name!r}: {exc}") from exc
+    return ValueInfo(proto.name, dims, dtype)
 
 
 def graph_from_proto(proto: GraphProto) -> Graph:
     """Convert a parsed GraphProto into a validated framework graph."""
+    if len(proto.node) > MAX_GRAPH_NODES:
+        raise OnnxError(
+            f"graph declares {len(proto.node)} nodes, over the "
+            f"{MAX_GRAPH_NODES} cap (hostile or corrupt model)")
     initializers = {}
     for tensor in proto.initializer:
         if not tensor.name:

@@ -50,6 +50,11 @@ def _bytes(value: "int | bytes", message: str, field: int) -> bytes:
 # TensorProto
 # ---------------------------------------------------------------------------
 
+#: Hard cap on declared tensor elements. A hostile TensorProto can declare
+#: dims whose product is astronomical while carrying a few bytes of data;
+#: the cap turns that into an OnnxError before any allocation is attempted.
+MAX_TENSOR_ELEMENTS = 1 << 31
+
 # TensorProto.DataType codes -> numpy dtypes (the supported subset).
 _TENSOR_DTYPES: dict[int, np.dtype] = {
     1: np.dtype(np.float32),
@@ -77,10 +82,10 @@ class TensorProto:
     double_data: list[float] = dataclasses.field(default_factory=list)
 
     @classmethod
-    def parse(cls, data: bytes) -> "TensorProto":
+    def parse(cls, data: bytes, depth: int = 0) -> "TensorProto":
         proto = cls()
         dims: list[int] = []
-        for field, wire_type, value in iter_fields(data):
+        for field, wire_type, value in iter_fields(data, depth):
             if field == 1:  # dims
                 if wire_type == VARINT:
                     dims.append(wire.varint_to_int64(value))
@@ -141,8 +146,22 @@ class TensorProto:
                 f"tensor {self.name!r}: unsupported data_type {self.data_type}")
         count = 1
         for dim in self.dims:
+            if dim < 0:
+                raise OnnxError(
+                    f"tensor {self.name!r}: negative dimension {dim} "
+                    f"in dims {tuple(self.dims)}")
             count *= dim
+        if count > MAX_TENSOR_ELEMENTS:
+            raise OnnxError(
+                f"tensor {self.name!r}: dims {tuple(self.dims)} declare "
+                f"{count} elements, over the {MAX_TENSOR_ELEMENTS} cap "
+                "(hostile or corrupt model)")
         if self.raw_data is not None:
+            if len(self.raw_data) % dtype.itemsize:
+                raise OnnxError(
+                    f"tensor {self.name!r}: raw_data of {len(self.raw_data)} "
+                    f"bytes is not a whole number of {dtype} elements "
+                    f"({dtype.itemsize} bytes each)")
             array = np.frombuffer(self.raw_data, dtype=dtype)
         elif self.float_data and self.data_type == 1:
             array = np.asarray(self.float_data, dtype=dtype)
@@ -200,9 +219,9 @@ class AttributeProto:
     strings: list[bytes] = dataclasses.field(default_factory=list)
 
     @classmethod
-    def parse(cls, data: bytes) -> "AttributeProto":
+    def parse(cls, data: bytes, depth: int = 0) -> "AttributeProto":
         proto = cls()
-        for field, wire_type, value in iter_fields(data):
+        for field, wire_type, value in iter_fields(data, depth):
             if field == 1:
                 proto.name = _string(value, "AttributeProto.name", field)
             elif field == 2 and wire_type == FIXED32:
@@ -214,7 +233,8 @@ class AttributeProto:
                 proto.s = bytes(value)
             elif field == 5:
                 _expect(wire_type, LENGTH_DELIMITED, "AttributeProto.t", field)
-                proto.t = TensorProto.parse(_bytes(value, "AttributeProto.t", field))
+                proto.t = TensorProto.parse(
+                    _bytes(value, "AttributeProto.t", field), depth + 1)
             elif field == 7:
                 if wire_type == FIXED32:
                     proto.floats.append(wire.fixed32_to_float(value))
@@ -336,9 +356,9 @@ class NodeProto:
     domain: str = ""
 
     @classmethod
-    def parse(cls, data: bytes) -> "NodeProto":
+    def parse(cls, data: bytes, depth: int = 0) -> "NodeProto":
         proto = cls()
-        for field, _wire_type, value in iter_fields(data):
+        for field, _wire_type, value in iter_fields(data, depth):
             if field == 1:
                 proto.input.append(_string(value, "NodeProto.input", field))
             elif field == 2:
@@ -349,7 +369,7 @@ class NodeProto:
                 proto.op_type = _string(value, "NodeProto.op_type", field)
             elif field == 5:
                 proto.attribute.append(AttributeProto.parse(
-                    _bytes(value, "NodeProto.attribute", field)))
+                    _bytes(value, "NodeProto.attribute", field), depth + 1))
             elif field == 7:
                 proto.domain = _string(value, "NodeProto.domain", field)
         return proto
@@ -383,32 +403,36 @@ class ValueInfoProto:
     dims: list["int | str"] = dataclasses.field(default_factory=list)
 
     @classmethod
-    def parse(cls, data: bytes) -> "ValueInfoProto":
+    def parse(cls, data: bytes, depth: int = 0) -> "ValueInfoProto":
         proto = cls()
-        for field, _wire_type, value in iter_fields(data):
+        for field, _wire_type, value in iter_fields(data, depth):
             if field == 1:
                 proto.name = _string(value, "ValueInfoProto.name", field)
             elif field == 2:  # TypeProto
-                proto._parse_type(_bytes(value, "ValueInfoProto.type", field))
+                proto._parse_type(
+                    _bytes(value, "ValueInfoProto.type", field), depth + 1)
         return proto
 
-    def _parse_type(self, data: bytes) -> None:
-        for field, _wire_type, value in iter_fields(data):
+    def _parse_type(self, data: bytes, depth: int) -> None:
+        for field, _wire_type, value in iter_fields(data, depth):
             if field == 1:  # TypeProto.Tensor
                 for tfield, twire, tvalue in iter_fields(
-                        _bytes(value, "TypeProto.tensor_type", field)):
+                        _bytes(value, "TypeProto.tensor_type", field),
+                        depth + 1):
                     if tfield == 1 and twire == VARINT:
                         self.elem_type = tvalue
                     elif tfield == 2:  # TensorShapeProto
                         self._parse_shape(
-                            _bytes(tvalue, "TensorShapeProto", tfield))
+                            _bytes(tvalue, "TensorShapeProto", tfield),
+                            depth + 2)
 
-    def _parse_shape(self, data: bytes) -> None:
-        for field, _wire_type, value in iter_fields(data):
+    def _parse_shape(self, data: bytes, depth: int) -> None:
+        for field, _wire_type, value in iter_fields(data, depth):
             if field == 1:  # Dimension
                 dim: int | str = -1
                 for dfield, dwire, dvalue in iter_fields(
-                        _bytes(value, "TensorShapeProto.dim", field)):
+                        _bytes(value, "TensorShapeProto.dim", field),
+                        depth + 1):
                     if dfield == 1 and dwire == VARINT:
                         dim = wire.varint_to_int64(dvalue)
                     elif dfield == 2:
@@ -451,22 +475,23 @@ class GraphProto:
     output: list[ValueInfoProto] = dataclasses.field(default_factory=list)
 
     @classmethod
-    def parse(cls, data: bytes) -> "GraphProto":
+    def parse(cls, data: bytes, depth: int = 0) -> "GraphProto":
         proto = cls()
-        for field, _wire_type, value in iter_fields(data):
+        for field, _wire_type, value in iter_fields(data, depth):
             if field == 1:
-                proto.node.append(NodeProto.parse(_bytes(value, "GraphProto.node", field)))
+                proto.node.append(NodeProto.parse(
+                    _bytes(value, "GraphProto.node", field), depth + 1))
             elif field == 2:
                 proto.name = _string(value, "GraphProto.name", field)
             elif field == 5:
-                proto.initializer.append(
-                    TensorProto.parse(_bytes(value, "GraphProto.initializer", field)))
+                proto.initializer.append(TensorProto.parse(
+                    _bytes(value, "GraphProto.initializer", field), depth + 1))
             elif field == 11:
-                proto.input.append(
-                    ValueInfoProto.parse(_bytes(value, "GraphProto.input", field)))
+                proto.input.append(ValueInfoProto.parse(
+                    _bytes(value, "GraphProto.input", field), depth + 1))
             elif field == 12:
-                proto.output.append(
-                    ValueInfoProto.parse(_bytes(value, "GraphProto.output", field)))
+                proto.output.append(ValueInfoProto.parse(
+                    _bytes(value, "GraphProto.output", field), depth + 1))
             # value_info (13) and others skipped
         return proto
 
@@ -490,9 +515,9 @@ class OperatorSetIdProto:
     version: int = 13
 
     @classmethod
-    def parse(cls, data: bytes) -> "OperatorSetIdProto":
+    def parse(cls, data: bytes, depth: int = 0) -> "OperatorSetIdProto":
         proto = cls()
-        for field, wire_type, value in iter_fields(data):
+        for field, wire_type, value in iter_fields(data, depth):
             if field == 1:
                 proto.domain = _string(value, "OperatorSetIdProto.domain", field)
             elif field == 2 and wire_type == VARINT:
@@ -517,9 +542,9 @@ class ModelProto:
     opset_import: list[OperatorSetIdProto] = dataclasses.field(default_factory=list)
 
     @classmethod
-    def parse(cls, data: bytes) -> "ModelProto":
+    def parse(cls, data: bytes, depth: int = 0) -> "ModelProto":
         proto = cls(producer_name="", producer_version="", opset_import=[])
-        for field, wire_type, value in iter_fields(data):
+        for field, wire_type, value in iter_fields(data, depth):
             if field == 1 and wire_type == VARINT:
                 proto.ir_version = wire.varint_to_int64(value)
             elif field == 2:
@@ -530,10 +555,11 @@ class ModelProto:
             elif field == 5 and wire_type == VARINT:
                 proto.model_version = wire.varint_to_int64(value)
             elif field == 7:
-                proto.graph = GraphProto.parse(_bytes(value, "ModelProto.graph", field))
+                proto.graph = GraphProto.parse(
+                    _bytes(value, "ModelProto.graph", field), depth + 1)
             elif field == 8:
-                proto.opset_import.append(
-                    OperatorSetIdProto.parse(_bytes(value, "ModelProto.opset", field)))
+                proto.opset_import.append(OperatorSetIdProto.parse(
+                    _bytes(value, "ModelProto.opset", field), depth + 1))
         return proto
 
     def serialize(self) -> bytes:

@@ -22,6 +22,13 @@ FIXED64 = 1
 LENGTH_DELIMITED = 2
 FIXED32 = 5
 
+#: Hard cap on nested-message depth. Model files cross the trust boundary,
+#: and a hostile payload nesting submessages thousands of levels deep must
+#: exhaust this explicit limit (a catchable WireFormatError), never the
+#: Python stack (RecursionError). The schema's deepest legitimate chain
+#: (Model > Graph > Node > Attribute > Tensor) is nowhere near this.
+MAX_MESSAGE_DEPTH = 64
+
 _WIRE_TYPE_NAMES = {VARINT: "varint", FIXED64: "fixed64",
                     LENGTH_DELIMITED: "length-delimited", FIXED32: "fixed32"}
 
@@ -169,13 +176,25 @@ class MessageWriter:
 Field = tuple[int, int, "int | bytes"]
 
 
-def iter_fields(data: bytes) -> Iterator[Field]:
+def iter_fields(data: bytes, depth: int = 0) -> Iterator[Field]:
     """Yield (field_number, wire_type, raw_value) for each field in ``data``.
 
     Varint/fixed values come out as ints (fixed ones as raw little-endian
     ints — reinterpret with :func:`fixed32_to_float` etc.); length-delimited
     values come out as bytes.
+
+    ``depth`` is the message-nesting level: callers recursing into a
+    submessage pass ``depth + 1``, and depths beyond
+    :data:`MAX_MESSAGE_DEPTH` are rejected with a
+    :class:`~repro.errors.WireFormatError` before any field is decoded.
+    Declared lengths are always validated against the remaining buffer, so
+    a truncated or lying length prefix can never trigger an oversized
+    slice.
     """
+    if depth > MAX_MESSAGE_DEPTH:
+        raise WireFormatError(
+            f"message nesting deeper than {MAX_MESSAGE_DEPTH} levels "
+            "(hostile or corrupt payload)")
     pos = 0
     while pos < len(data):
         field_number, wire_type, pos = decode_tag(data, pos)
@@ -194,10 +213,11 @@ def iter_fields(data: bytes) -> Iterator[Field]:
             pos += 4
         else:  # LENGTH_DELIMITED
             length, pos = decode_varint(data, pos)
-            if pos + length > len(data):
+            if length > len(data) - pos:
                 raise WireFormatError(
-                    f"length-delimited field {field_number} overruns buffer "
-                    f"({length} bytes at offset {pos}, buffer {len(data)})")
+                    f"length-delimited field {field_number} overruns the "
+                    f"buffer: declares {length} bytes with only "
+                    f"{len(data) - pos} remaining at offset {pos}")
             yield field_number, wire_type, data[pos:pos + length]
             pos += length
 

@@ -20,6 +20,7 @@ import numpy as np
 from repro.backends.backend import Backend
 from repro.config import RuntimeConfig
 from repro.errors import (
+    DeadlineExceededError,
     ExecutionError,
     FallbackExhaustedError,
     InjectedFaultError,
@@ -215,6 +216,7 @@ class Executor:
         feeds: Mapping[str, np.ndarray],
         collect_timings: bool = False,
         keep_values: bool = False,
+        deadline_ms: float | None = None,
     ) -> tuple[dict[str, np.ndarray], list[NodeTiming]]:
         """Execute the graph on ``feeds``.
 
@@ -223,20 +225,64 @@ class Executor:
         memory plan, bounding the resident set — unless ``keep_values`` is
         set (calibration/debugging), in which case every intermediate is
         retained and returned alongside the outputs.
+
+        ``deadline_ms`` (per-call, falling back to the config's value)
+        bounds the run in wall-clock time: a monotonic deadline is checked
+        between nodes, and — together with ``config.node_timeout_ms`` —
+        violations raise :class:`~repro.errors.DeadlineExceededError`
+        carrying the partial per-layer timeline. Kernels are not preempted
+        mid-call, so both checks are soft: expiry is detected at the next
+        node boundary.
         """
+        if deadline_ms is None:
+            deadline_ms = self.config.deadline_ms
+        timeout_ms = self.config.node_timeout_ms
+        watchdog = deadline_ms is not None or timeout_ms is not None
+        started_run = time.monotonic() if watchdog else 0.0
+        deadline = (started_run + deadline_ms / 1e3
+                    if deadline_ms is not None else None)
         values = self._bind_inputs(feeds)
         timings: list[NodeTiming] = []
+        # The watchdog always collects timings: the partial timeline is
+        # what makes an expired run diagnosable.
+        collect = collect_timings or watchdog
         release = ({} if keep_values or not self.config.memory_planning
                    else self.plan.release_after)
-        for entry in self.schedule:
+        for position, entry in enumerate(self.schedule):
             node = entry.node
+            if deadline is not None:
+                now = time.monotonic()
+                if now > deadline:
+                    raise DeadlineExceededError(
+                        f"deadline of {deadline_ms:g} ms exceeded after "
+                        f"{(now - started_run) * 1e3:.2f} ms, before node "
+                        f"{node.name!r} ({position}/{len(self.schedule)} "
+                        f"nodes completed)",
+                        partial_timings=tuple(timings),
+                        completed_nodes=position,
+                        total_nodes=len(self.schedule),
+                        elapsed_s=now - started_run,
+                        deadline_s=deadline_ms / 1e3)
             inputs = [values[name] if name else np.empty(0) for name in node.inputs]
-            started = time.perf_counter() if collect_timings else 0.0
+            started = time.perf_counter() if collect else 0.0
             outputs, chosen = self._run_node(entry, inputs)
-            if collect_timings:
+            if collect:
+                seconds = time.perf_counter() - started
                 timings.append(NodeTiming(
-                    node=node, impl=chosen,
-                    seconds=time.perf_counter() - started))
+                    node=node, impl=chosen, seconds=seconds))
+                if timeout_ms is not None and seconds * 1e3 > timeout_ms:
+                    now = time.monotonic()
+                    raise DeadlineExceededError(
+                        f"node {node.name!r} ({node.op_type}) took "
+                        f"{seconds * 1e3:.2f} ms, over the per-node soft "
+                        f"timeout of {timeout_ms:g} ms "
+                        f"({position + 1}/{len(self.schedule)} nodes "
+                        f"completed)",
+                        partial_timings=tuple(timings),
+                        completed_nodes=position + 1,
+                        total_nodes=len(self.schedule),
+                        elapsed_s=(now - started_run) if watchdog else seconds,
+                        deadline_s=timeout_ms / 1e3)
             for name, array in zip(node.outputs, outputs):
                 values[name] = array
             for dead in release.get(entry.index, ()):

@@ -12,6 +12,7 @@ and the memory plan is fixed. Running is then pure data movement.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from collections.abc import Mapping
 
@@ -19,6 +20,7 @@ import numpy as np
 
 from repro.backends.backend import Backend, get_backend
 from repro.config import RuntimeConfig, get_default_config
+from repro.errors import MemoryBudgetError
 from repro.ir.graph import Graph
 from repro.runtime.executor import Executor, RobustnessReport
 from repro.runtime.faults import FaultPlan
@@ -27,6 +29,20 @@ from repro.runtime.profiler import ProfileResult, collate
 from repro.tensor.tensor import Tensor
 
 Feed = Mapping[str, "np.ndarray | Tensor"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryAdmission:
+    """Outcome of the memory-budget admission check at prepare time."""
+
+    budget_bytes: int | None   # None = no budget configured
+    required_bytes: int        # peak resident activation bytes of the plan
+    mode: str                  # "reject" | "degrade"
+    degraded: bool             # memory planning was forced on to fit
+
+    @property
+    def bounded(self) -> bool:
+        return self.budget_bytes is not None
 
 
 class InferenceSession:
@@ -42,6 +58,10 @@ class InferenceSession:
         check_numerics: bool | None = None,
         kernel_fallback: bool | None = None,
         fault_plan: FaultPlan | None = None,
+        deadline_ms: float | None = None,
+        node_timeout_ms: float | None = None,
+        memory_budget_bytes: int | None = None,
+        budget_mode: str | None = None,
     ) -> None:
         """Prepare ``graph`` for execution.
 
@@ -58,6 +78,20 @@ class InferenceSession:
                 the next applicable implementation.
             fault_plan: installs a deterministic fault-injection plan (see
                 :mod:`repro.runtime.faults`).
+            deadline_ms: default wall-clock budget per run (overridable per
+                call on :meth:`run`/:meth:`time`/:meth:`profile`).
+            node_timeout_ms: soft per-node timeout (see
+                :class:`~repro.config.RuntimeConfig`).
+            memory_budget_bytes: admission-control budget — a model whose
+                memory plan cannot fit is rejected here, at prepare time,
+                with :class:`~repro.errors.MemoryBudgetError`.
+            budget_mode: ``"reject"`` or ``"degrade"`` (try the
+                arena-friendly schedule before rejecting).
+
+        Raises:
+            MemoryBudgetError: the memory plan's peak resident bytes exceed
+                ``memory_budget_bytes`` and ``budget_mode`` offers no
+                acceptable degradation. Raised before anything executes.
         """
         base = config or get_default_config()
         if threads is not None:
@@ -70,6 +104,14 @@ class InferenceSession:
             base = base.replace(kernel_fallback=kernel_fallback)
         if fault_plan is not None:
             base = base.replace(fault_plan=fault_plan)
+        if deadline_ms is not None:
+            base = base.replace(deadline_ms=deadline_ms)
+        if node_timeout_ms is not None:
+            base = base.replace(node_timeout_ms=node_timeout_ms)
+        if memory_budget_bytes is not None:
+            base = base.replace(memory_budget_bytes=memory_budget_bytes)
+        if budget_mode is not None:
+            base = base.replace(budget_mode=budget_mode)
         if isinstance(backend, str):
             backend = get_backend(backend)
         base = base.replace(backend=backend.name)
@@ -82,6 +124,40 @@ class InferenceSession:
             working = default_pipeline().run(working)
         self.graph = working
         self._executor = Executor(working, backend, base)
+        self.memory_admission = self._admit()
+
+    def _admit(self) -> MemoryAdmission:
+        """Memory-budget admission control, run once at prepare time.
+
+        Over-budget sessions are rejected before a single kernel runs; in
+        ``"degrade"`` mode the arena-friendly schedule (memory planning on,
+        dead values dropped at last use) is tried first, and only a model
+        that cannot fit even then is rejected.
+        """
+        config = self.config
+        budget = config.memory_budget_bytes
+        plan = self._executor.plan
+        required = plan.required_bytes(config.memory_planning)
+        if budget is None or required <= budget:
+            return MemoryAdmission(
+                budget_bytes=budget, required_bytes=required,
+                mode=config.budget_mode, degraded=False)
+        if config.budget_mode == "degrade" and not config.memory_planning:
+            planned = plan.required_bytes(memory_planning=True)
+            if planned <= budget:
+                degraded = config.replace(memory_planning=True)
+                self.config = degraded
+                self._executor.config = degraded
+                return MemoryAdmission(
+                    budget_bytes=budget, required_bytes=planned,
+                    mode=config.budget_mode, degraded=True)
+            required = planned
+        raise MemoryBudgetError(
+            f"model needs {required} bytes of peak resident activations, "
+            f"over the budget of {budget} bytes "
+            f"(mode={config.budget_mode!r}, weights {plan.weight_bytes} "
+            f"bytes, arena {plan.arena_bytes} bytes)",
+            required_bytes=required, budget_bytes=budget)
 
     # -- metadata ----------------------------------------------------------------
 
@@ -115,9 +191,17 @@ class InferenceSession:
 
     # -- execution ------------------------------------------------------------------
 
-    def run(self, feeds: Feed) -> dict[str, np.ndarray]:
-        """Execute once; returns ``{output_name: array}``."""
-        outputs, _ = self._executor.run(self._unwrap(feeds))
+    def run(self, feeds: Feed,
+            deadline_ms: float | None = None) -> dict[str, np.ndarray]:
+        """Execute once; returns ``{output_name: array}``.
+
+        ``deadline_ms`` overrides the config's per-run wall-clock budget
+        for this call; expiry raises
+        :class:`~repro.errors.DeadlineExceededError` with the partial
+        per-layer timeline attached.
+        """
+        outputs, _ = self._executor.run(
+            self._unwrap(feeds), deadline_ms=deadline_ms)
         return outputs
 
     def run_tensors(self, feeds: Feed) -> dict[str, Tensor]:
@@ -128,9 +212,13 @@ class InferenceSession:
         }
 
     def time(
-        self, feeds: Feed, repeats: int = 10, warmup: int = 2
+        self, feeds: Feed, repeats: int = 10, warmup: int = 2,
+        deadline_ms: float | None = None,
     ) -> list[float]:
         """End-to-end wall times (seconds) for ``repeats`` runs after warmup.
+
+        ``deadline_ms`` bounds each individual run (warmup included);
+        expiry raises :class:`~repro.errors.DeadlineExceededError`.
 
         Raises:
             ValueError: ``repeats < 1`` or ``warmup < 0`` (caught up front
@@ -140,18 +228,24 @@ class InferenceSession:
         _validate_protocol(repeats, warmup)
         raw = self._unwrap(feeds)
         for _ in range(warmup):
-            self._executor.run(raw)
+            self._executor.run(raw, deadline_ms=deadline_ms)
         times = []
         for _ in range(repeats):
             started = time.perf_counter()
-            self._executor.run(raw)
+            self._executor.run(raw, deadline_ms=deadline_ms)
             times.append(time.perf_counter() - started)
         return times
 
     def profile(
-        self, feeds: Feed, repeats: int = 5, warmup: int = 1
+        self, feeds: Feed, repeats: int = 5, warmup: int = 1,
+        deadline_ms: float | None = None,
     ) -> ProfileResult:
         """Per-layer timing statistics over ``repeats`` instrumented runs.
+
+        ``deadline_ms`` bounds each individual run; expiry raises
+        :class:`~repro.errors.DeadlineExceededError`, whose
+        ``partial_timings`` carry the layers measured before the watchdog
+        fired.
 
         Raises:
             ValueError: ``repeats < 1`` or ``warmup < 0``.
@@ -159,10 +253,11 @@ class InferenceSession:
         _validate_protocol(repeats, warmup)
         raw = self._unwrap(feeds)
         for _ in range(warmup):
-            self._executor.run(raw)
+            self._executor.run(raw, deadline_ms=deadline_ms)
         runs = []
         for _ in range(repeats):
-            _, timings = self._executor.run(raw, collect_timings=True)
+            _, timings = self._executor.run(
+                raw, collect_timings=True, deadline_ms=deadline_ms)
             runs.append(timings)
         return collate(runs)
 

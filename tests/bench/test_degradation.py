@@ -60,6 +60,32 @@ class TestRunGuarded:
             run_guarded(unavailable, label="cell",
                         reraise=(FrameworkUnavailableError,))
 
+    def test_reraise_reports_attempts_consumed(self):
+        """Regression: retries spent before a reraise'd exception escapes
+        must be visible on the exception, not silently swallowed."""
+        calls = []
+
+        def degrades_to_unavailable():
+            calls.append(1)
+            if len(calls) < 2:
+                raise ExecutionError("transient")
+            raise FrameworkUnavailableError("gave up for real")
+
+        with pytest.raises(FrameworkUnavailableError) as excinfo:
+            run_guarded(degrades_to_unavailable, label="cell", retries=3,
+                        reraise=(FrameworkUnavailableError,))
+        assert len(calls) == 2
+        assert excinfo.value.attempts_consumed == 2
+
+    def test_reraise_on_first_attempt_counts_one(self):
+        def unavailable():
+            raise FrameworkUnavailableError("not shipped")
+
+        with pytest.raises(FrameworkUnavailableError) as excinfo:
+            run_guarded(unavailable, label="cell", retries=0,
+                        reraise=(FrameworkUnavailableError,))
+        assert excinfo.value.attempts_consumed == 1
+
 
 class _PoisonedPrepare(FrameworkAdapter):
     name = "poisoned-prepare"

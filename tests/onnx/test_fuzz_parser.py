@@ -85,3 +85,64 @@ class TestSpecificCorruptions:
         assert len(again.graph.node) == len(model.graph.node)
         for a, b in zip(again.graph.initializer, model.graph.initializer):
             np.testing.assert_array_equal(a.to_numpy(), b.to_numpy())
+
+
+class TestResourceGuardrails:
+    """Hostile-payload caps: depth, element count, alignment, node count."""
+
+    def test_nesting_beyond_cap_rejected(self):
+        from repro.errors import WireFormatError
+        from repro.onnx import wire
+        data = wire.MessageWriter().varint(1, 7).finish()
+        with pytest.raises(WireFormatError, match="nesting"):
+            list(wire.iter_fields(data, depth=wire.MAX_MESSAGE_DEPTH + 1))
+
+    def test_depth_threads_through_schema_parse(self, monkeypatch):
+        """The cap binds real model parsing, not just bare iter_fields.
+
+        A valid model nests Model > Graph > Node > Attribute; squeezing the
+        cap below that proves every schema parse method passes depth down.
+        """
+        from repro.errors import WireFormatError
+        from repro.onnx import wire
+        real = save_model_bytes(tiny_classifier())
+        monkeypatch.setattr(wire, "MAX_MESSAGE_DEPTH", 1)
+        with pytest.raises(WireFormatError, match="nesting"):
+            load_model_bytes(real)
+
+    def test_element_count_cap_precedes_allocation(self):
+        from repro.errors import OnnxError
+        from repro.onnx import schema
+        tensor = TensorProto(name="w", dims=(1 << 20, 1 << 20),
+                             data_type=1, float_data=[1.0])
+        with pytest.raises(OnnxError, match="cap"):
+            tensor.to_numpy()
+        assert (1 << 40) > schema.MAX_TENSOR_ELEMENTS
+
+    def test_negative_dims_rejected(self):
+        from repro.errors import OnnxError
+        # (-1, -1) has a positive product that matches one element — the
+        # size check alone would wave it through into reshape().
+        tensor = TensorProto(name="w", dims=(-1, -1),
+                             data_type=1, float_data=[1.0])
+        with pytest.raises(OnnxError, match="negative dimension"):
+            tensor.to_numpy()
+
+    def test_misaligned_raw_data_rejected(self):
+        from repro.errors import OnnxError
+        tensor = TensorProto(name="w", dims=(1,), data_type=1,
+                             raw_data=b"\x00" * 5)  # 5 bytes, float32
+        with pytest.raises(OnnxError, match="raw_data"):
+            tensor.to_numpy()
+
+    def test_graph_node_cap(self, monkeypatch):
+        from repro.errors import OnnxError
+        from repro.onnx import reader
+        from repro.onnx.schema import GraphProto, NodeProto
+        monkeypatch.setattr(reader, "MAX_GRAPH_NODES", 3)
+        proto = GraphProto(name="g")
+        proto.node = [NodeProto(op_type="Relu", name=f"n{i}",
+                                input=["x"], output=["y"])
+                      for i in range(4)]
+        with pytest.raises(OnnxError, match="nodes"):
+            reader.graph_from_proto(proto)

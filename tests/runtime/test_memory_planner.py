@@ -115,3 +115,63 @@ class TestFootprint:
     def test_report_is_readable(self):
         text = footprint_report(plan_for(tiny_classifier()))
         assert "weights" in text and "arena" in text and "peak" in text
+
+
+class TestDegenerateShapes:
+    def test_symbolic_batch_dim_plans_cleanly(self):
+        """Symbolic (-1) dims are counted as 1 until prepare resolves them;
+        the plan must still be internally consistent, not crash or go
+        negative."""
+        builder = GraphBuilder()
+        x = builder.input("input", (-1, 16))
+        y = builder.relu(builder.relu(x))
+        builder.output(y)
+        plan = plan_for(builder.finish())
+        assert plan.peak_bytes > 0
+        assert plan.peak_bytes <= plan.total_activation_bytes
+        assert plan.required_bytes(True) == plan.peak_bytes
+        assert plan.required_bytes(False) == plan.total_activation_bytes
+
+    def test_zero_size_value_plans_cleanly(self):
+        builder = GraphBuilder()
+        x = builder.input("input", (0, 8))
+        builder.output(builder.relu(x))
+        plan = plan_for(builder.finish())
+        assert plan.peak_bytes >= 0
+        assert all(size >= 0 for size in plan.slot_sizes)
+        assert plan.arena_bytes <= plan.total_activation_bytes
+
+
+class TestArenaNeverWorseThanNaive:
+    """Property: slot reuse can only shrink the footprint.
+
+    The naive allocator keeps every activation live for the whole run
+    (total_activation_bytes); the planner's arena and resident peak must
+    never exceed that, whatever the graph shape.
+    """
+
+    def test_property_random_chains(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=40, deadline=None)
+        @given(length=st.integers(1, 12), width=st.integers(1, 64),
+               branch_at=st.integers(0, 11))
+        def check(length, width, branch_at):
+            builder = GraphBuilder()
+            x = builder.input("input", (1, width))
+            values = [x]
+            y = x
+            for _ in range(length):
+                y = builder.relu(y)
+                values.append(y)
+            if branch_at < length:
+                # A long-lived value: consumed again at the very end.
+                y = builder.add(values[branch_at], y)
+            builder.output(y)
+            plan = plan_for(builder.finish())
+            assert plan.arena_bytes <= plan.total_activation_bytes
+            assert plan.peak_bytes <= plan.total_activation_bytes
+            assert plan.arena_bytes >= 0 and plan.peak_bytes >= 0
+
+        check()
