@@ -146,6 +146,7 @@ def run_figure2(
     verbose: bool = False,
     retries: int = 1,
     journal: "RunJournal | str | None" = None,
+    engine_cache: "str | None | object" = None,
 ) -> Figure2Result:
     """Measure every (framework, model) cell of Figure 2.
 
@@ -170,10 +171,23 @@ def run_figure2(
     model, and measurement protocol — are replayed from it instead of
     re-measured. A campaign killed after N cells therefore resumes at cell
     N+1; ``Figure2Result.resumed`` counts the replayed cells.
+
+    ``engine_cache`` (an :class:`~repro.engine.cache.EngineCache` or a
+    directory path) warm-starts each cell's prepare from a compiled engine
+    when one is cached, and freezes cold prepares back into the cache.
+    Only adapters whose ``prepare`` accepts the cache take part; adapters
+    with bespoke prepare paths (e.g. the TVM simulation's autotuning) keep
+    preparing cold. Timing is unaffected either way — the cache only
+    moves startup cost.
     """
+    import inspect
     import time
 
     from repro.bench.workloads import model_input
+
+    if isinstance(engine_cache, str):
+        from repro.engine.cache import EngineCache
+        engine_cache = EngineCache(engine_cache)
 
     book = open_journal(journal)
     resumed = 0
@@ -210,11 +224,15 @@ def run_figure2(
                               f"resumed from journal ({entry.kind})")
                     continue
             adapter = get_adapter(framework)
+            prepare_kwargs: dict = {}
+            if engine_cache is not None and "engine_cache" in (
+                    inspect.signature(adapter.prepare).parameters):
+                prepare_kwargs["engine_cache"] = engine_cache
             try:
                 runnable, failure = run_guarded(
                     lambda: adapter.prepare(
                         model, batch=batch, image_size=image_size,
-                        threads=threads),
+                        threads=threads, **prepare_kwargs),
                     label=f"{framework}/{model}", stage="prepare",
                     retries=retries,
                     reraise=(FrameworkUnavailableError,))

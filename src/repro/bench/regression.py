@@ -11,14 +11,24 @@ against it with a noise tolerance:
 
 Baselines are machine-specific (absolute times), so they belong in a local
 file or CI cache keyed by runner type — not in the repository.
+
+:func:`measure_engine_startup` tracks a different trajectory: cold session
+prepare (build + validate + plan + select) versus warm start from a
+compiled engine file, per model. Its *speedup ratios* are meaningful
+across machines even though the absolute times are not, so the saved
+``BENCH_engine_startup.json`` document is worth committing.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import platform
+import statistics
 import sys
+import tempfile
+import time
 
 from repro import __version__
 from repro.bench.harness import time_model
@@ -108,6 +118,104 @@ class RegressionReport:
         if self.ok and not self.improvements:
             lines.append("  all within tolerance")
         return "\n".join(lines)
+
+
+# -- engine startup trajectory --------------------------------------------------------
+
+#: Models tracked by the startup benchmark: both conv regimes, the
+#: depthwise path, and the deepest zoo ResNet.
+ENGINE_STARTUP_MODELS: tuple[str, ...] = (
+    "wrn-40-2", "mobilenet-v1", "resnet18", "resnet50")
+
+
+def measure_engine_startup(
+    models: "tuple[str, ...] | None" = None,
+    backend: str = "orpheus",
+    threads: int = 1,
+    repeats: int = 3,
+    engine_dir: "str | None" = None,
+) -> dict:
+    """Cold-vs-warm session startup per model; returns the document.
+
+    "Cold" is the full deployment path — build the zoo graph, then let
+    ``InferenceSession`` validate, simplify, infer shapes, plan memory,
+    and select kernels. "Warm" is ``InferenceSession.from_engine`` on a
+    compiled engine file. Each phase's median over ``repeats`` runs is
+    recorded; ``speedup`` is cold total over warm load.
+
+    Engine files go to ``engine_dir`` (a temporary directory by default,
+    removed afterwards).
+    """
+    from repro.engine import compile_to_file
+    from repro.models import zoo
+    from repro.runtime.session import InferenceSession
+
+    if models is None:  # resolved at call time so tests can patch the set
+        models = ENGINE_STARTUP_MODELS
+    entries: dict = {}
+    with tempfile.TemporaryDirectory() as scratch:
+        directory = engine_dir or scratch
+        os.makedirs(directory, exist_ok=True)
+        for model in models:
+            path = os.path.join(directory, f"{model}.oeng")
+            graph = zoo.build(model)
+            compile_to_file(graph, path, backend=backend, threads=threads,
+                            metadata={"model": model})
+            build_s, prepare_s, warm_s = [], [], []
+            for _ in range(repeats):
+                started = time.perf_counter()
+                graph = zoo.build(model)
+                build_s.append(time.perf_counter() - started)
+                started = time.perf_counter()
+                InferenceSession(graph, backend=backend, threads=threads)
+                prepare_s.append(time.perf_counter() - started)
+                started = time.perf_counter()
+                InferenceSession.from_engine(path)
+                warm_s.append(time.perf_counter() - started)
+            cold_ms = (statistics.median(build_s)
+                       + statistics.median(prepare_s)) * 1e3
+            warm_ms = statistics.median(warm_s) * 1e3
+            entries[model] = {
+                "cold_build_ms": round(statistics.median(build_s) * 1e3, 3),
+                "cold_prepare_ms": round(
+                    statistics.median(prepare_s) * 1e3, 3),
+                "cold_total_ms": round(cold_ms, 3),
+                "warm_load_ms": round(warm_ms, 3),
+                "speedup": round(cold_ms / warm_ms, 2) if warm_ms else None,
+                "engine_bytes": os.path.getsize(path),
+            }
+    return {
+        "version": __version__,
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "backend": backend,
+        "threads": threads,
+        "repeats": repeats,
+        "entries": entries,
+    }
+
+
+def save_engine_startup(path: str, **kwargs) -> dict:
+    """:func:`measure_engine_startup`, saved as pretty JSON."""
+    document = measure_engine_startup(**kwargs)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return document
+
+
+def format_engine_startup(document: dict) -> str:
+    """The startup document as an aligned text table."""
+    lines = [f"engine startup, backend={document['backend']}, "
+             f"threads={document['threads']}, "
+             f"median of {document['repeats']}:",
+             f"  {'model':14s} {'cold (ms)':>10s} {'warm (ms)':>10s} "
+             f"{'speedup':>8s}"]
+    for model, entry in document["entries"].items():
+        lines.append(
+            f"  {model:14s} {entry['cold_total_ms']:10.1f} "
+            f"{entry['warm_load_ms']:10.1f} {entry['speedup']:7.2f}x")
+    return "\n".join(lines)
 
 
 def check_baseline(

@@ -93,11 +93,20 @@ def _time_config(
     deadline_ms: float | None = None,
     memory_budget_bytes: int | None = None,
     budget_mode: str = "reject",
+    engine_cache=None,
 ) -> SweepPoint:
     graph = zoo.build(model, batch=batch, image_size=image_size)
-    session = InferenceSession(
-        graph, backend=backend, threads=threads,
-        memory_budget_bytes=memory_budget_bytes, budget_mode=budget_mode)
+    if engine_cache is not None:
+        # Warm-start the prepare from the cache (populating it on miss);
+        # the timing loop below is identical either way.
+        session, _ = engine_cache.session(
+            graph, model=model, backend=backend, threads=threads,
+            batch=batch, image_size=image_size,
+            memory_budget_bytes=memory_budget_bytes, budget_mode=budget_mode)
+    else:
+        session = InferenceSession(
+            graph, backend=backend, threads=threads,
+            memory_budget_bytes=memory_budget_bytes, budget_mode=budget_mode)
     x = model_input(model, batch=batch, image_size=image_size)
     feed = {"input": x}
     for _ in range(warmup):
@@ -126,9 +135,13 @@ def _run_sweep(
     memory_budget_bytes: int | None,
     budget_mode: str,
     journal: "RunJournal | str | None",
+    engine_cache=None,
 ) -> SweepResult:
     """Shared sweep engine: failure boundary + run-journal per cell."""
     _validate_protocol(repeats, warmup)
+    if isinstance(engine_cache, str):
+        from repro.engine.cache import EngineCache
+        engine_cache = EngineCache(engine_cache)
     backend_name = backend if isinstance(backend, str) else backend.name
     book = open_journal(journal)
     points: list[SweepPoint] = []
@@ -166,6 +179,8 @@ def _run_sweep(
         if memory_budget_bytes is not None:
             guardrails["memory_budget_bytes"] = memory_budget_bytes
             guardrails["budget_mode"] = budget_mode
+        if engine_cache is not None:
+            guardrails["engine_cache"] = engine_cache
         point, failure = run_guarded(
             lambda: _time_config(model, batch, image_size, backend, threads,
                                  repeats, warmup, **guardrails),
@@ -197,6 +212,7 @@ def batch_sweep(
     memory_budget_bytes: int | None = None,
     budget_mode: str = "reject",
     journal: "RunJournal | str | None" = None,
+    engine_cache=None,
 ) -> SweepResult:
     """Latency vs batch size at fixed resolution.
 
@@ -212,11 +228,17 @@ def batch_sweep(
     already-recorded cells are replayed instead of re-measured
     (``SweepResult.resumed`` counts them), so a killed sweep restarts
     where it died.
+
+    ``engine_cache`` (an :class:`~repro.engine.cache.EngineCache` or a
+    directory path) warm-starts each configuration's prepare from a
+    compiled engine, populating the cache on the first pass — a re-run
+    sweep then skips every cold prepare.
     """
     return _run_sweep(
         model, "batch", tuple((b, image_size) for b in batches),
         backend, threads, repeats, warmup, retries,
-        deadline_ms, memory_budget_bytes, budget_mode, journal)
+        deadline_ms, memory_budget_bytes, budget_mode, journal,
+        engine_cache=engine_cache)
 
 
 def resolution_sweep(
@@ -231,15 +253,17 @@ def resolution_sweep(
     memory_budget_bytes: int | None = None,
     budget_mode: str = "reject",
     journal: "RunJournal | str | None" = None,
+    engine_cache=None,
 ) -> SweepResult:
     """Latency vs input resolution at batch 1.
 
     Degrades per point like :func:`batch_sweep` (failure rows, resource
-    guardrails, resumable journal): failing configurations turn into
-    failure rows, the sweep always completes, and a journal lets it
-    resume.
+    guardrails, resumable journal, ``engine_cache`` warm starts): failing
+    configurations turn into failure rows, the sweep always completes,
+    and a journal lets it resume.
     """
     return _run_sweep(
         model, "image_size", tuple((1, size) for size in image_sizes),
         backend, threads, repeats, warmup, retries,
-        deadline_ms, memory_budget_bytes, budget_mode, journal)
+        deadline_ms, memory_budget_bytes, budget_mode, journal,
+        engine_cache=engine_cache)

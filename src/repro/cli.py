@@ -8,9 +8,13 @@ Subcommands::
     orpheus run MODEL               # one inference on synthetic input
     orpheus profile MODEL           # per-layer timing
     orpheus convert MODEL OUT.onnx  # export a zoo model to ONNX
+    orpheus compile MODEL OUT.oeng  # compile a model to an engine file
+    orpheus engine-info FILE.oeng   # inspect a compiled engine
     orpheus bench figure2           # regenerate the paper's Figure 2
     orpheus bench table1            # regenerate the paper's Table I
     orpheus bench layers            # per-layer conv algorithm race
+    orpheus bench engine-startup    # cold vs warm session startup
+    orpheus bench sweep             # latency vs batch size / resolution
 """
 
 from __future__ import annotations
@@ -59,6 +63,28 @@ def _build_parser() -> argparse.ArgumentParser:
     convert.add_argument("output", help="output .onnx path")
     convert.add_argument("--seed", type=int, default=0)
 
+    compile_ = sub.add_parser(
+        "compile", help="ahead-of-time compile a model to an engine file")
+    compile_.add_argument("model", help="zoo model name or .onnx path")
+    compile_.add_argument("output", help="output .oeng path")
+    compile_.add_argument("--backend", default="orpheus")
+    compile_.add_argument("--threads", type=int, default=1)
+    compile_.add_argument("--no-optimize", action="store_true")
+    compile_.add_argument("--seed", type=int, default=0)
+    compile_.add_argument("--batch", type=int, default=1)
+    compile_.add_argument("--image-size", type=int, default=None)
+    compile_.add_argument(
+        "--tune", action="store_true",
+        help="race every registered kernel per Conv before freezing")
+    compile_.add_argument("--tune-repeats", type=int, default=2)
+    compile_.add_argument(
+        "--autotune-cache", metavar="PATH", default=None,
+        help="persistent autotune cache consulted/updated while tuning")
+
+    engine_info = sub.add_parser(
+        "engine-info", help="inspect a compiled engine file")
+    engine_info.add_argument("path", help=".oeng path")
+
     quantize = sub.add_parser(
         "quantize", help="post-training int8 quantization -> ONNX")
     quantize.add_argument("model", help="zoo model name or .onnx path")
@@ -103,12 +129,45 @@ def _build_parser() -> argparse.ArgumentParser:
     figure2.add_argument("--retries", type=int, default=1,
                          help="extra tries per failing cell before it "
                               "degrades into a failure row")
+    figure2.add_argument("--engine-cache", metavar="DIR", default=None,
+                         help="warm-start each cell's prepare from this "
+                              "directory of compiled engines (populated "
+                              "on the first pass)")
     _journal_flags(figure2)
     table1 = bench_sub.add_parser("table1", help="Table I")
     table1.add_argument("--rationale", action="store_true")
+    table1.add_argument("--engine-cache", metavar="DIR", default=None,
+                        help="accepted for campaign-driver uniformity; "
+                             "Table I is qualitative and prepares no "
+                             "sessions")
     _journal_flags(table1)
     layers = bench_sub.add_parser("layers", help="conv algorithm race")
     layers.add_argument("--repeats", type=int, default=5)
+    sweep = bench_sub.add_parser(
+        "sweep", help="latency vs batch size or input resolution")
+    sweep.add_argument("model", help="zoo model name")
+    sweep.add_argument("--parameter", choices=("batch", "resolution"),
+                       default="batch")
+    sweep.add_argument("--values", nargs="+", type=int, default=None,
+                       help="batch sizes or image sizes to sweep "
+                            "(default: 1 2 4 8 batches)")
+    sweep.add_argument("--backend", default="orpheus")
+    sweep.add_argument("--threads", type=int, default=1)
+    sweep.add_argument("--repeats", type=int, default=5)
+    sweep.add_argument("--retries", type=int, default=1)
+    sweep.add_argument("--csv", help="also write CSV to this path")
+    sweep.add_argument("--engine-cache", metavar="DIR", default=None,
+                       help="warm-start each configuration's prepare from "
+                            "this directory of compiled engines")
+    _journal_flags(sweep)
+    startup = bench_sub.add_parser(
+        "engine-startup", help="cold vs warm session startup per model")
+    startup.add_argument("--save", metavar="PATH", default=None,
+                         help="also write the JSON document to PATH")
+    startup.add_argument("--models", nargs="*", default=None)
+    startup.add_argument("--backend", default="orpheus")
+    startup.add_argument("--threads", type=int, default=1)
+    startup.add_argument("--repeats", type=int, default=3)
     baseline = bench_sub.add_parser(
         "baseline", help="save or check a performance baseline")
     group = baseline.add_mutually_exclusive_group(required=True)
@@ -125,6 +184,11 @@ def _session_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--threads", type=int, default=1)
     parser.add_argument("--no-optimize", action="store_true")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--engine", metavar="PATH", default=None,
+        help="warm-start from this compiled engine file when it matches "
+             "(best-effort: a stale or corrupt engine warns and falls "
+             "back to a cold prepare)")
     _robustness_flags(parser)
     _guardrail_flags(parser)
 
@@ -202,6 +266,8 @@ def _session_kwargs(args: argparse.Namespace) -> dict:
     if getattr(args, "memory_budget_mb", None) is not None:
         kwargs["memory_budget_bytes"] = int(args.memory_budget_mb * (1 << 20))
         kwargs["budget_mode"] = args.budget_mode
+    if getattr(args, "engine", None):
+        kwargs["engine"] = args.engine
     return kwargs
 
 
@@ -303,6 +369,59 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     size = os.path.getsize(args.output)
     print(f"wrote {args.output} ({size / (1 << 20):.2f} MiB)")
     return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.engine import AutotuneCache, compile_to_file
+    if os.path.exists(args.model) or args.model.endswith(".onnx"):
+        from repro.onnx import load_model
+        graph = load_model(args.model)
+    else:
+        graph = zoo.build(args.model, batch=args.batch,
+                          image_size=args.image_size, seed=args.seed)
+    cache = AutotuneCache(args.autotune_cache) if args.autotune_cache else None
+    started = time.perf_counter()
+    engine = compile_to_file(
+        graph, args.output,
+        backend=get_backend(args.backend), threads=args.threads,
+        optimize=not args.no_optimize, tune=args.tune,
+        tune_repeats=args.tune_repeats, autotune_cache=cache,
+        metadata={"model": args.model})
+    elapsed = time.perf_counter() - started
+    size = os.path.getsize(args.output)
+    print(f"compiled {args.model} -> {args.output} "
+          f"({size / (1 << 20):.2f} MiB in {elapsed:.2f}s)")
+    if cache is not None:
+        print(f"autotune cache: {cache.stats()}")
+    _print_engine_info(engine)
+    return 0
+
+
+def _cmd_engine_info(args: argparse.Namespace) -> int:
+    from repro.engine import load_engine
+    from repro.errors import EngineError
+    try:
+        engine = load_engine(args.path)
+    except EngineError as exc:
+        print(f"not a loadable engine: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.path} ({os.path.getsize(args.path) / (1 << 20):.2f} MiB)")
+    _print_engine_info(engine)
+    return 0
+
+
+def _print_engine_info(engine) -> None:
+    for key, value in engine.info().items():
+        if isinstance(value, dict):
+            print(f"  {key}:")
+            for inner, inner_value in value.items():
+                print(f"    {inner:18s} {inner_value}")
+        elif isinstance(value, list):
+            print(f"  {key:20s} {', '.join(map(str, value))}")
+        else:
+            print(f"  {key:20s} {value}")
 
 
 def _cmd_quantize(args: argparse.Namespace) -> int:
@@ -418,6 +537,48 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from repro.bench.layerwise import race_conv_impls
         print(race_conv_impls(repeats=args.repeats).table())
         return 0
+    if args.experiment == "engine-startup":
+        from repro.bench.regression import (
+            format_engine_startup, measure_engine_startup)
+        document = measure_engine_startup(
+            models=tuple(args.models) if args.models else None,
+            backend=args.backend, threads=args.threads,
+            repeats=args.repeats)
+        print(format_engine_startup(document))
+        if args.save:
+            import json
+            with open(args.save, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote {args.save}")
+        return 0
+    if args.experiment == "sweep":
+        from repro.bench.sweeps import batch_sweep, resolution_sweep
+        journal = _open_journal(args)
+        if args.parameter == "batch":
+            result = batch_sweep(
+                args.model, batches=tuple(args.values or (1, 2, 4, 8)),
+                backend=args.backend, threads=args.threads,
+                repeats=args.repeats, retries=args.retries,
+                journal=journal, engine_cache=args.engine_cache)
+        else:
+            if not args.values:
+                raise SystemExit(
+                    "--parameter resolution requires --values SIZE...")
+            result = resolution_sweep(
+                args.model, image_sizes=tuple(args.values),
+                backend=args.backend, threads=args.threads,
+                repeats=args.repeats, retries=args.retries,
+                journal=journal, engine_cache=args.engine_cache)
+        print(result.table())
+        if journal is not None:
+            print(f"journal: resumed {result.resumed} cell(s), "
+                  f"{len(journal)} total recorded at {journal.path}")
+        if args.csv:
+            with open(args.csv, "w", encoding="utf-8") as handle:
+                handle.write(result.csv() + "\n")
+            print(f"wrote {args.csv}")
+        return 0 if result.complete else 1
     if args.experiment == "baseline":
         from repro.bench.regression import check_baseline, save_baseline
         if args.save:
@@ -443,6 +604,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         verbose=True,
         retries=args.retries,
         journal=journal,
+        engine_cache=args.engine_cache,
     )
     print()
     print(result.chart() if args.chart else result.table())
@@ -468,6 +630,8 @@ _COMMANDS = {
     "run": _cmd_run,
     "profile": _cmd_profile,
     "convert": _cmd_convert,
+    "compile": _cmd_compile,
+    "engine-info": _cmd_engine_info,
     "compare": _cmd_compare,
     "conformance": _cmd_conformance,
     "quantize": _cmd_quantize,

@@ -1,0 +1,172 @@
+"""Ahead-of-time compilation: graph + backend + config -> :class:`Engine`.
+
+``compile_graph`` runs exactly the cold prepare an
+:class:`~repro.runtime.session.InferenceSession` would — the pass
+pipeline, shape inference, scheduling, memory planning, and kernel (chain)
+selection — optionally autotunes, and freezes the result. That "exactly"
+is load-bearing: the differential test suite asserts a warm-started
+session is indistinguishable from a cold one, and reusing the same
+:class:`~repro.runtime.executor.Executor` preparation path is what makes
+that hold by construction rather than by maintenance discipline.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING, Any
+
+from repro.backends.backend import Backend, get_backend
+from repro.config import RuntimeConfig, get_default_config
+from repro.engine.cache import AutotuneCache
+from repro.engine.fingerprint import make_fingerprint
+from repro.engine.format import Engine, save_engine
+from repro.ir.graph import Graph
+from repro.runtime.autotune import autotune
+from repro.runtime.executor import Executor
+
+if TYPE_CHECKING:
+    from repro.runtime.session import InferenceSession
+
+#: Op types autotuned by default when tuning is requested without an
+#: explicit candidate map. Conv dominates edge CNN inference time.
+DEFAULT_TUNE_OPS = ("Conv",)
+
+
+def tuning_candidates(
+    backend: Backend, ops: Sequence[str] = DEFAULT_TUNE_OPS,
+) -> dict[str, tuple[str, ...]]:
+    """Every registered implementation per op, as an autotune candidate map.
+
+    Experimental kernels are included only when the backend itself opts
+    in — racing them is how an experimental kernel earns a slot, but a
+    conservative backend should not silently deploy one.
+    """
+    table: dict[str, tuple[str, ...]] = {}
+    for op_type in ops:
+        names = tuple(
+            impl.name for impl in backend.registry.implementations(op_type)
+            if backend.include_experimental or not impl.experimental)
+        if names:
+            table[op_type] = names
+    return table
+
+
+def compile_graph(
+    graph: Graph,
+    backend: str | Backend = "orpheus",
+    threads: int | None = None,
+    optimize: bool | None = None,
+    config: RuntimeConfig | None = None,
+    tune: bool | Mapping[str, Sequence[str]] = False,
+    tune_repeats: int = 2,
+    autotune_cache: AutotuneCache | None = None,
+    metadata: Mapping[str, Any] | None = None,
+) -> Engine:
+    """Compile ``graph`` into an :class:`Engine`.
+
+    Args:
+        graph: the source model; not mutated (a copy is simplified).
+        backend / threads / optimize / config: exactly the knobs
+            :class:`~repro.runtime.session.InferenceSession` takes — the
+            engine's fingerprint records them, and loads demand a match.
+        tune: ``True`` races every registered implementation for
+            :data:`DEFAULT_TUNE_OPS`; a mapping races exactly those
+            candidates; ``False`` keeps the backend's static policy.
+        tune_repeats: timed runs per candidate during tuning.
+        autotune_cache: persistent cache consulted/updated while tuning.
+        metadata: free-form strings stored in the engine (model name,
+            compile flags) for ``repro engine-info``.
+
+    Returns:
+        The compiled engine, ready for :func:`repro.engine.save_engine`.
+    """
+    base = config or get_default_config()
+    if threads is not None:
+        base = base.replace(threads=threads)
+    if optimize is not None:
+        base = base.replace(optimize=optimize)
+    if isinstance(backend, str):
+        backend = get_backend(backend)
+    base = base.replace(backend=backend.name)
+
+    # Fingerprint the *source* graph: that is what a later
+    # `InferenceSession(graph, engine=...)` has in hand to compare against.
+    fingerprint = make_fingerprint(graph, backend, base.threads, base.optimize)
+
+    working = graph.copy()
+    if base.optimize:
+        from repro.passes import default_pipeline
+        working = default_pipeline().run(working)
+
+    tuned: dict[str, str] = {}
+    if tune:
+        candidates = (tuning_candidates(backend) if tune is True
+                      else {op: tuple(names) for op, names in tune.items()})
+        tuned = autotune(
+            working, candidates, threads=base.threads, repeats=tune_repeats,
+            registry=backend.registry, cache=autotune_cache)
+        if tuned:
+            backend = backend.with_overrides(tuned)
+
+    executor = Executor(working, backend, base)
+    return Engine(
+        graph=working,
+        schedule=tuple(node.name for node in executor.schedule_nodes),
+        kernel_plan=executor.kernel_plan(),
+        fallback_plan=executor.fallback_plan(),
+        value_types=dict(executor.value_types),
+        memory_plan=executor.plan,
+        fingerprint=fingerprint,
+        tuned=tuned,
+        metadata=dict(metadata or {}),
+    )
+
+
+def engine_from_session(
+    session: "InferenceSession",
+    source_graph: Graph | None = None,
+    metadata: Mapping[str, Any] | None = None,
+) -> Engine:
+    """Freeze an already-prepared session's plans into an :class:`Engine`.
+
+    A caller that just paid for a cold prepare (an engine-cache miss in a
+    bench harness, say) should not prepare a second time to persist the
+    result; this lifts the plans straight out of the live executor.
+
+    Args:
+        session: a cold-prepared :class:`InferenceSession`.
+        source_graph: the graph that was handed to the session constructor.
+            The fingerprint digests it so that a later
+            ``InferenceSession(source_graph, engine=...)`` hint matches.
+            Defaults to the session's own (already simplified) graph, which
+            is only right when the session was built with ``optimize=False``
+            or directly from the simplified graph.
+        metadata: free-form strings stored for ``repro engine-info``.
+    """
+    executor = session._executor
+    fingerprint = make_fingerprint(
+        source_graph if source_graph is not None else session.graph,
+        session.backend, session.config.threads, session.config.optimize)
+    return Engine(
+        graph=session.graph,
+        schedule=tuple(node.name for node in executor.schedule_nodes),
+        kernel_plan=executor.kernel_plan(),
+        fallback_plan=executor.fallback_plan(),
+        value_types=dict(executor.value_types),
+        memory_plan=executor.plan,
+        fingerprint=fingerprint,
+        tuned={},
+        metadata=dict(metadata or {}),
+    )
+
+
+def compile_to_file(
+    graph: Graph,
+    path: str | os.PathLike[str],
+    **kwargs: Any,
+) -> Engine:
+    """:func:`compile_graph` then :func:`~repro.engine.format.save_engine`."""
+    engine = compile_graph(graph, **kwargs)
+    save_engine(engine, path)
+    return engine

@@ -125,6 +125,33 @@ class JournalError(OrpheusError):
     """A run-journal file is unreadable or version-incompatible."""
 
 
+class EngineError(OrpheusError):
+    """A compiled engine file is corrupt, stale, or incompatible.
+
+    Raised by the engine loader (:mod:`repro.engine`) when a file fails the
+    format checks (magic, version, size caps, checksum), when its host or
+    config fingerprint no longer matches the loading session, or when the
+    kernels it froze are no longer registered. ``InferenceSession(...,
+    engine=path)`` converts this into an :class:`EngineFallbackWarning`
+    and a cold prepare; ``InferenceSession.from_engine`` lets it propagate.
+    """
+
+
+class EngineFallbackWarning(UserWarning):
+    """A compiled engine could not be used; the session cold-prepared instead.
+
+    Structured: carries ``source`` (the engine path or ``"<bytes>"``) and
+    ``reason`` (the underlying failure message) so campaign logs can report
+    exactly which artifact went stale and why.
+    """
+
+    def __init__(self, source: str, reason: str) -> None:
+        super().__init__(
+            f"engine {source}: {reason}; falling back to cold prepare")
+        self.source = source
+        self.reason = reason
+
+
 class InjectedFaultError(ExecutionError):
     """A deliberately injected fault fired (``FaultPlan`` mode ``raise``).
 

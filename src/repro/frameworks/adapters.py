@@ -105,9 +105,11 @@ class PyTorchAdapter(SessionAdapter):
         )
 
     def prepare(self, model_name: str, batch: int = 1,
-                image_size: int | None = None, threads: int = 1) -> SessionModel:
+                image_size: int | None = None, threads: int = 1,
+                engine_cache=None) -> SessionModel:
         prepared = super().prepare(
-            model_name, batch=batch, image_size=image_size, threads=threads)
+            model_name, batch=batch, image_size=image_size, threads=threads,
+            engine_cache=engine_cache)
         node_count = len(prepared.session.graph.nodes)
         prepared.per_run_overhead_s = _EAGER_DISPATCH_S_PER_NODE * node_count
         return prepared
@@ -144,13 +146,15 @@ class DarknetAdapter(SessionAdapter):
         )
 
     def prepare(self, model_name: str, batch: int = 1,
-                image_size: int | None = None, threads: int = 1) -> SessionModel:
+                image_size: int | None = None, threads: int = 1,
+                engine_cache=None) -> SessionModel:
         if model_name not in self._AVAILABLE:
             raise FrameworkUnavailableError(
                 f"DarkNet: model {model_name!r} is not available "
                 f"(only the ResNet models ship with the framework)")
         return super().prepare(
-            model_name, batch=batch, image_size=image_size, threads=threads)
+            model_name, batch=batch, image_size=image_size, threads=threads,
+            engine_cache=engine_cache)
 
 
 DARKNET_ADAPTER = register_adapter(DarknetAdapter())
@@ -185,7 +189,8 @@ class TFLiteAdapter(SessionAdapter):
         )
 
     def prepare(self, model_name: str, batch: int = 1,
-                image_size: int | None = None, threads: int = 1) -> SessionModel:
+                image_size: int | None = None, threads: int = 1,
+                engine_cache=None) -> SessionModel:
         if model_name in self._UNIMPORTABLE:
             raise FrameworkUnavailableError(
                 f"TF-Lite: importing {model_name!r} failed "
@@ -194,10 +199,9 @@ class TFLiteAdapter(SessionAdapter):
             raise FrameworkUnavailableError(
                 "TF-Lite: the Python API always selects the maximum number "
                 "of threads; a single-thread run cannot be requested")
-        graph = zoo.build(model_name, batch=batch, image_size=image_size)
-        session = InferenceSession(
-            graph, backend=self.backend, threads=threads, optimize=self.optimize)
-        return SessionModel(session)
+        return super().prepare(
+            model_name, batch=batch, image_size=image_size, threads=threads,
+            engine_cache=engine_cache)
 
 
 TFLITE_ADAPTER = register_adapter(TFLiteAdapter())

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -10,6 +11,9 @@ from repro.backends.backend import Backend
 from repro.frameworks.base import FrameworkAdapter, PreparedModel
 from repro.models import zoo
 from repro.runtime.session import InferenceSession
+
+if TYPE_CHECKING:
+    from repro.engine.cache import EngineCache
 
 
 class SessionModel(PreparedModel):
@@ -59,8 +63,17 @@ class SessionAdapter(FrameworkAdapter):
         self.optimize = optimize
 
     def prepare(self, model_name: str, batch: int = 1,
-                image_size: int | None = None, threads: int = 1) -> SessionModel:
+                image_size: int | None = None, threads: int = 1,
+                engine_cache: "EngineCache | None" = None) -> SessionModel:
         graph = zoo.build(model_name, batch=batch, image_size=image_size)
-        session = InferenceSession(
-            graph, backend=self.backend, threads=threads, optimize=self.optimize)
+        if engine_cache is not None:
+            # Warm-start from (and on miss, populate) the engine cache.
+            session, _ = engine_cache.session(
+                graph, model=model_name, backend=self.backend,
+                threads=threads, optimize=self.optimize,
+                batch=batch, image_size=image_size)
+        else:
+            session = InferenceSession(
+                graph, backend=self.backend, threads=threads,
+                optimize=self.optimize)
         return SessionModel(session)

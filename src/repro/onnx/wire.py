@@ -195,31 +195,55 @@ def iter_fields(data: bytes, depth: int = 0) -> Iterator[Field]:
         raise WireFormatError(
             f"message nesting deeper than {MAX_MESSAGE_DEPTH} levels "
             "(hostile or corrupt payload)")
+    # This loop is the decode hot path (every model/engine load walks it
+    # once per field), so the overwhelmingly common single-byte varints —
+    # field numbers below 16, values and lengths below 128 — are decoded
+    # inline instead of through decode_tag/decode_varint calls.
     pos = 0
-    while pos < len(data):
-        field_number, wire_type, pos = decode_tag(data, pos)
-        if wire_type == VARINT:
-            value, pos = decode_varint(data, pos)
+    end = len(data)
+    while pos < end:
+        key = data[pos]
+        if key < 0x80:
+            pos += 1
+        else:
+            key, pos = decode_varint(data, pos)
+        field_number = key >> 3
+        wire_type = key & 0x7
+        if field_number < 1:
+            raise WireFormatError(f"invalid field number {field_number} in tag")
+        if wire_type == LENGTH_DELIMITED:
+            if pos < end and data[pos] < 0x80:
+                length = data[pos]
+                pos += 1
+            else:
+                length, pos = decode_varint(data, pos)
+            if length > end - pos:
+                raise WireFormatError(
+                    f"length-delimited field {field_number} overruns the "
+                    f"buffer: declares {length} bytes with only "
+                    f"{end - pos} remaining at offset {pos}")
+            yield field_number, wire_type, data[pos:pos + length]
+            pos += length
+        elif wire_type == VARINT:
+            if pos < end and data[pos] < 0x80:
+                value = data[pos]
+                pos += 1
+            else:
+                value, pos = decode_varint(data, pos)
             yield field_number, wire_type, value
         elif wire_type == FIXED64:
-            if pos + 8 > len(data):
+            if pos + 8 > end:
                 raise WireFormatError(f"truncated fixed64 in field {field_number}")
             yield field_number, wire_type, int.from_bytes(data[pos:pos + 8], "little")
             pos += 8
         elif wire_type == FIXED32:
-            if pos + 4 > len(data):
+            if pos + 4 > end:
                 raise WireFormatError(f"truncated fixed32 in field {field_number}")
             yield field_number, wire_type, int.from_bytes(data[pos:pos + 4], "little")
             pos += 4
-        else:  # LENGTH_DELIMITED
-            length, pos = decode_varint(data, pos)
-            if length > len(data) - pos:
-                raise WireFormatError(
-                    f"length-delimited field {field_number} overruns the "
-                    f"buffer: declares {length} bytes with only "
-                    f"{len(data) - pos} remaining at offset {pos}")
-            yield field_number, wire_type, data[pos:pos + length]
-            pos += length
+        else:
+            raise WireFormatError(
+                f"unsupported wire type {wire_type} for field {field_number}")
 
 
 def fixed32_to_float(raw: int) -> float:

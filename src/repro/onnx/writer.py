@@ -34,14 +34,21 @@ def _value_info_proto(info: ValueInfo) -> ValueInfoProto:
     )
 
 
-def graph_to_proto(graph: Graph) -> GraphProto:
-    """Convert a framework graph into a GraphProto."""
+def graph_to_proto(graph: Graph, internal: bool = False) -> GraphProto:
+    """Convert a framework graph into a GraphProto.
+
+    ``internal=True`` permits framework-private attributes (the fused
+    ``activation`` marker) in the output — used by the engine serializer
+    (:mod:`repro.engine`), whose files never leave the framework. Plain
+    ONNX export keeps rejecting them so optimised graphs cannot leak
+    non-standard attributes into ``.onnx`` files.
+    """
     graph.validate()
     proto = GraphProto(name=graph.name)
     for node in graph.nodes:
         attrs = []
         for name in sorted(node.attrs.keys()):
-            if name in _INTERNAL_ATTRS:
+            if name in _INTERNAL_ATTRS and not internal:
                 raise OnnxError(
                     f"node {node.name!r} carries framework-internal attribute "
                     f"{name!r}; export the unoptimised graph")
@@ -63,10 +70,14 @@ def graph_to_proto(graph: Graph) -> GraphProto:
     return proto
 
 
-def save_model_bytes(graph: Graph) -> bytes:
-    """Serialize ``graph`` as ONNX ``ModelProto`` bytes."""
+def save_model_bytes(graph: Graph, internal: bool = False) -> bytes:
+    """Serialize ``graph`` as ONNX ``ModelProto`` bytes.
+
+    ``internal=True`` is the engine serializer's escape hatch for
+    framework-private attributes; see :func:`graph_to_proto`.
+    """
     model = ModelProto(
-        graph=graph_to_proto(graph),
+        graph=graph_to_proto(graph, internal=internal),
         opset_import=[OperatorSetIdProto(domain="", version=_EXPORT_OPSET)],
     )
     return model.serialize()

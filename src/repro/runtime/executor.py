@@ -55,6 +55,25 @@ class PreparedNode:
             object.__setattr__(self, "candidates", (self.impl,))
 
 
+@dataclasses.dataclass(frozen=True)
+class PreparedGraph:
+    """Everything ``Executor.__init__`` computes, precomputed elsewhere.
+
+    The warm-start payload: an engine loader (see :mod:`repro.engine`)
+    rebuilds this from a compiled engine file and hands it to the
+    executor, which then skips validation, shape inference, scheduling,
+    memory planning, and kernel selection entirely. The loader is
+    responsible for having cross-checked the pieces against the graph —
+    the executor trusts a ``PreparedGraph`` blindly; that trust is the
+    speedup.
+    """
+
+    value_types: dict[str, tuple]
+    schedule_nodes: list[Node]
+    plan: MemoryPlan
+    schedule: list["PreparedNode"]
+
+
 @dataclasses.dataclass
 class NodeTiming:
     """Wall-clock seconds spent in one node during one run."""
@@ -152,24 +171,33 @@ class Executor:
     down its chain when an implementation fails.
     """
 
-    def __init__(self, graph: Graph, backend: Backend, config: RuntimeConfig) -> None:
-        graph.validate()
-        validate_graph_nodes(graph.nodes)
+    def __init__(self, graph: Graph, backend: Backend, config: RuntimeConfig,
+                 prepared: PreparedGraph | None = None) -> None:
         self.graph = graph
         self.backend = backend
         self.config = config
-        self.value_types = infer_shapes(graph)
-        self.schedule_nodes = graph.toposort()
-        self.plan: MemoryPlan = plan_memory(graph, self.value_types, self.schedule_nodes)
-        self.schedule: list[PreparedNode] = []
-        for index, node in enumerate(self.schedule_nodes):
-            shapes = [
-                self.value_types[name][0] if name else ()
-                for name in node.inputs
-            ]
-            chain = tuple(backend.candidates(node, shapes))
-            self.schedule.append(PreparedNode(
-                index=index, node=node, impl=chain[0], candidates=chain))
+        if prepared is not None:
+            # Warm start from a compiled engine: every prepare product is
+            # already in hand, so all the per-node analysis below is skipped.
+            self.value_types = prepared.value_types
+            self.schedule_nodes = prepared.schedule_nodes
+            self.plan: MemoryPlan = prepared.plan
+            self.schedule: list[PreparedNode] = list(prepared.schedule)
+        else:
+            graph.validate()
+            validate_graph_nodes(graph.nodes)
+            self.value_types = infer_shapes(graph)
+            self.schedule_nodes = graph.toposort()
+            self.plan = plan_memory(graph, self.value_types, self.schedule_nodes)
+            self.schedule = []
+            for index, node in enumerate(self.schedule_nodes):
+                shapes = [
+                    self.value_types[name][0] if name else ()
+                    for name in node.inputs
+                ]
+                chain = tuple(backend.candidates(node, shapes))
+                self.schedule.append(PreparedNode(
+                    index=index, node=node, impl=chain[0], candidates=chain))
         self.context = ExecutionContext(
             threads=config.threads, gemm=backend.gemm_fn)
         self.fallback_events: list[FallbackEvent] = []

@@ -13,16 +13,22 @@ and the memory plan is fixed. Running is then pure data movement.
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
+import warnings
 from collections.abc import Mapping
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.backends.backend import Backend, get_backend
 from repro.config import RuntimeConfig, get_default_config
-from repro.errors import MemoryBudgetError
+from repro.errors import EngineError, EngineFallbackWarning, MemoryBudgetError
 from repro.ir.graph import Graph
 from repro.runtime.executor import Executor, RobustnessReport
+
+if TYPE_CHECKING:
+    from repro.engine.format import Engine
 from repro.runtime.faults import FaultPlan
 from repro.runtime.memory_planner import MemoryPlan
 from repro.runtime.profiler import ProfileResult, collate
@@ -62,6 +68,7 @@ class InferenceSession:
         node_timeout_ms: float | None = None,
         memory_budget_bytes: int | None = None,
         budget_mode: str | None = None,
+        engine: "str | os.PathLike[str] | Engine | None" = None,
     ) -> None:
         """Prepare ``graph`` for execution.
 
@@ -87,11 +94,23 @@ class InferenceSession:
                 with :class:`~repro.errors.MemoryBudgetError`.
             budget_mode: ``"reject"`` or ``"degrade"`` (try the
                 arena-friendly schedule before rejecting).
+            engine: best-effort warm start — a compiled engine file (or
+                parsed :class:`~repro.engine.format.Engine`) to load
+                *instead of* preparing, if and only if it is intact and
+                its fingerprint matches this host, this config, and
+                ``graph``. Any problem with the engine — corrupt file,
+                version/host/config mismatch, different source graph,
+                unregistered kernels — emits a structured
+                :class:`~repro.errors.EngineFallbackWarning` and falls
+                back to a normal cold prepare. Use
+                :meth:`from_engine` when a fallback should be an error.
 
         Raises:
             MemoryBudgetError: the memory plan's peak resident bytes exceed
                 ``memory_budget_bytes`` and ``budget_mode`` offers no
                 acceptable degradation. Raised before anything executes.
+                (Admission control runs on the *engine's* plan too — a
+                warm start never bypasses the PR 3 guardrails.)
         """
         base = config or get_default_config()
         if threads is not None:
@@ -117,6 +136,18 @@ class InferenceSession:
         base = base.replace(backend=backend.name)
         self.config = base
         self.backend = backend
+        self.loaded_engine: "Engine | None" = None
+        if engine is not None:
+            from repro.engine.fingerprint import graph_digest
+            try:
+                self._warm_prepare(engine, expected_digest=graph_digest(graph))
+            except EngineError as exc:
+                warnings.warn(
+                    EngineFallbackWarning(_engine_source(engine), str(exc)),
+                    stacklevel=2)
+            else:
+                self.memory_admission = self._admit()
+                return
         working = graph.copy()
         if base.optimize:
             # Imported lazily: passes import ops/kernels, which import ir.
@@ -125,6 +156,113 @@ class InferenceSession:
         self.graph = working
         self._executor = Executor(working, backend, base)
         self.memory_admission = self._admit()
+
+    def _warm_prepare(
+        self,
+        engine: "str | os.PathLike[str] | Engine",
+        expected_digest: str | None,
+    ) -> None:
+        """Load an engine and bind it as this session's executor.
+
+        Requires ``self.config`` / ``self.backend`` to be set. Raises
+        :class:`~repro.errors.EngineError` on any corruption, staleness,
+        or mismatch — callers decide whether that is fatal
+        (:meth:`from_engine`) or a fallback (``engine=`` hint).
+        """
+        from repro.engine.fingerprint import fingerprint_mismatch
+        from repro.engine.format import Engine as EngineType
+        from repro.engine.format import load_engine
+        from repro.engine.loader import resolve_prepared
+        loaded = (engine if isinstance(engine, EngineType)
+                  else load_engine(engine))
+        reason = fingerprint_mismatch(
+            loaded.fingerprint, self.backend, self.config.threads,
+            self.config.optimize, source_digest=expected_digest)
+        if reason is not None:
+            raise EngineError(reason)
+        prepared = resolve_prepared(loaded, self.backend)
+        self.graph = loaded.graph
+        self._executor = Executor(
+            loaded.graph, self.backend, self.config, prepared=prepared)
+        self.loaded_engine = loaded
+
+    @classmethod
+    def from_engine(
+        cls,
+        source: "str | os.PathLike[str] | Engine",
+        backend: str | Backend | None = None,
+        threads: int | None = None,
+        config: RuntimeConfig | None = None,
+        check_numerics: bool | None = None,
+        kernel_fallback: bool | None = None,
+        fault_plan: FaultPlan | None = None,
+        deadline_ms: float | None = None,
+        node_timeout_ms: float | None = None,
+        memory_budget_bytes: int | None = None,
+        budget_mode: str | None = None,
+    ) -> "InferenceSession":
+        """Strict warm start: a session from a compiled engine, or an error.
+
+        The engine supplies the graph *and* the prepare-time knobs it was
+        compiled with (backend, threads, optimize); ``backend``/``threads``
+        may be passed only to assert expectations — a disagreement with
+        the fingerprint is an :class:`~repro.errors.EngineError`, never a
+        silent re-prepare. Run-time knobs (numerics, fallback, fault
+        plans, deadlines, memory budgets) are free to differ, and the
+        memory-budget admission check runs exactly as it would on a cold
+        prepare.
+
+        Raises:
+            EngineError: unreadable/corrupt/stale file, fingerprint
+                mismatch, or frozen kernels that no longer resolve.
+            MemoryBudgetError: the engine's plan does not fit
+                ``memory_budget_bytes``.
+        """
+        from repro.engine.format import Engine as EngineType
+        from repro.engine.format import load_engine
+        loaded = (source if isinstance(source, EngineType)
+                  else load_engine(source))
+        fingerprint = loaded.fingerprint
+        if threads is None:
+            try:
+                threads = int(fingerprint["threads"])
+            except (KeyError, TypeError, ValueError):
+                raise EngineError(
+                    "engine fingerprint has no usable thread count") from None
+        backend_name = fingerprint.get("backend")
+        if backend is None:
+            if not isinstance(backend_name, str):
+                raise EngineError(
+                    "engine fingerprint has no usable backend name")
+            backend = backend_name
+        if isinstance(backend, str):
+            backend = get_backend(backend)
+        base = config or get_default_config()
+        base = base.replace(
+            threads=threads,
+            optimize=bool(fingerprint.get("optimize", base.optimize)),
+            backend=backend.name)
+        if check_numerics is not None:
+            base = base.replace(check_numerics=check_numerics)
+        if kernel_fallback is not None:
+            base = base.replace(kernel_fallback=kernel_fallback)
+        if fault_plan is not None:
+            base = base.replace(fault_plan=fault_plan)
+        if deadline_ms is not None:
+            base = base.replace(deadline_ms=deadline_ms)
+        if node_timeout_ms is not None:
+            base = base.replace(node_timeout_ms=node_timeout_ms)
+        if memory_budget_bytes is not None:
+            base = base.replace(memory_budget_bytes=memory_budget_bytes)
+        if budget_mode is not None:
+            base = base.replace(budget_mode=budget_mode)
+        session = cls.__new__(cls)
+        session.config = base
+        session.backend = backend
+        session.loaded_engine = None
+        session._warm_prepare(loaded, expected_digest=None)
+        session.memory_admission = session._admit()
+        return session
 
     def _admit(self) -> MemoryAdmission:
         """Memory-budget admission control, run once at prepare time.
@@ -269,6 +407,13 @@ class InferenceSession:
             name: value.data if isinstance(value, Tensor) else np.asarray(value)
             for name, value in feeds.items()
         }
+
+
+def _engine_source(engine: object) -> str:
+    """Human-readable origin of an ``engine=`` argument, for warnings."""
+    if isinstance(engine, (str, os.PathLike)):
+        return os.fspath(engine)
+    return f"<{type(engine).__name__}>"
 
 
 def _validate_protocol(repeats: int, warmup: int) -> None:

@@ -198,3 +198,50 @@ def check_backend(
             case=case.name, impl=impl.name,
             passed=bool(error <= tolerance), max_error=error))
     return ConformanceReport(backend=backend.name, results=tuple(results))
+
+
+# -- randomized graph generation ------------------------------------------------------
+
+
+def random_ir_graph(
+    seed: int,
+    max_blocks: int = 4,
+    image: int = 16,
+    channels: int = 8,
+    classes: int = 5,
+) -> "Graph":
+    """A small random-but-valid CNN graph, deterministic in ``seed``.
+
+    The workhorse behind property-based tests (engine round trips, pass
+    pipelines): the same seed always yields a bit-identical graph —
+    structure *and* weights — so serialization stability can be asserted
+    as byte equality, while varying the seed explores residual blocks,
+    depthwise convolutions, pooling, and 1x1 projections in random
+    combinations.
+    """
+    from repro.ir.builder import GraphBuilder
+
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(f"rand-{seed}", seed=seed)
+    x = builder.input("input", (1, 3, image, image))
+    y = builder.conv_bn_relu(x, channels, 3, pad=1)
+    for _ in range(int(rng.integers(1, max_blocks + 1))):
+        choice = int(rng.integers(0, 5))
+        if choice == 0:
+            y = builder.conv_bn_relu(y, channels, 3, pad=1)
+        elif choice == 1:
+            y = builder.relu(builder.depthwise_conv(y))
+        elif choice == 2:
+            skip = y
+            y = builder.conv(y, channels, 3, pad=1)
+            y = builder.relu(builder.add(y, skip))
+        elif choice == 3 and builder.shape_of(y)[2] >= 4:
+            y = builder.max_pool(y, 2)
+        else:
+            y = builder.relu(builder.conv(y, channels, 1))
+    y = builder.global_average_pool(y)
+    y = builder.flatten(y)
+    y = builder.dense(y, classes)
+    y = builder.softmax(y)
+    builder.output(y)
+    return builder.finish()

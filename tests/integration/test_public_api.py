@@ -44,6 +44,7 @@ class TestExports:
         for name in dir(errors):
             obj = getattr(errors, name)
             if (isinstance(obj, type) and issubclass(obj, Exception)
+                    and not issubclass(obj, Warning)  # warnings root at Warning
                     and obj is not OrpheusError
                     and obj.__module__ == "repro.errors"):
                 assert issubclass(obj, OrpheusError), name
