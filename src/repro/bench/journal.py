@@ -19,7 +19,8 @@ Format — one JSON object per line:
 warmup, threads, image size...), so resuming with different flags never
 reuses mismatched numbers. Writes are append-and-flush per entry: a kill
 between entries loses at most the in-flight cell. A truncated final line
-(killed mid-write) is tolerated on load; any other malformed line raises
+(killed mid-write) is tolerated on load *and trimmed from the file*, so
+the next append starts a clean line; any other malformed line raises
 :class:`~repro.errors.JournalError`.
 """
 
@@ -92,19 +93,32 @@ class RunJournal:
     # -- loading ---------------------------------------------------------------
 
     def _load(self) -> None:
-        with open(self.path, "r", encoding="utf-8") as handle:
-            lines = handle.readlines()
-        for index, line in enumerate(lines):
-            line = line.strip()
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        keep = len(raw)
+        newline_at = raw.rfind(b"\n")
+        tail = raw[newline_at + 1:] if newline_at >= 0 else raw
+        if tail:
+            # Killed mid-append before the newline made it out. Tolerating
+            # the partial record on load is not enough: the file must also
+            # be trimmed back to the last complete line, or the next
+            # append concatenates onto the partial tail and turns a
+            # recoverable truncation into permanent mid-file corruption.
+            self.corrupt_lines += 1
+            keep = newline_at + 1 if newline_at >= 0 else 0
+        lines = raw[:keep].split(b"\n")[:-1] if keep else []
+        for index, line_bytes in enumerate(lines):
+            line = line_bytes.decode("utf-8", errors="replace").strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
                 if index == len(lines) - 1:
-                    # Killed mid-append: the unfinished cell is simply
-                    # re-measured on resume.
+                    # A torn final line that still got its newline out:
+                    # same treatment — drop, count, trim.
                     self.corrupt_lines += 1
+                    keep -= len(line_bytes) + 1
                     continue
                 raise JournalError(
                     f"{self.path}:{index + 1}: malformed journal line")
@@ -126,6 +140,9 @@ class RunJournal:
             entry = JournalEntry(
                 kind=kind, key=key, payload=record.get("payload") or {})
             self.entries[cell_key(**key)] = entry
+        if keep < len(raw):
+            with open(self.path, "rb+") as handle:
+                handle.truncate(keep)
 
     # -- queries ---------------------------------------------------------------
 

@@ -218,6 +218,58 @@ def format_engine_startup(document: dict) -> str:
     return "\n".join(lines)
 
 
+def save_serve_bench(path: str, document: dict) -> dict:
+    """Persist a :func:`repro.serve.run_serve_bench` document as JSON.
+
+    Only the structural results (counts, shed reasons, pass/fail checks,
+    latency *ratios* via the recorded bound) are meaningful across
+    machines; absolute latencies are machine-local, same caveat as
+    ``BENCH_engine_startup.json``.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def format_serve_bench(document: dict) -> str:
+    """The serve-bench document as an aligned text report."""
+    lines = [
+        f"serve bench: {document['model']} "
+        f"backends={'/'.join(document['backends'])} "
+        f"workers={document['workers']} max_batch={document['max_batch']} "
+        f"(saturation ~{document['saturation_rps']:.1f} rps)",
+        f"  {'scenario':10s} {'rps':>6s} {'offered':>8s} {'done':>6s} "
+        f"{'shed':>6s} {'fail':>5s} {'p50':>8s} {'p99':>8s} {'ok?':>4s}",
+    ]
+    for scenario in document["scenarios"]:
+        load = scenario["load"]
+        latency = load["latency_ms"]
+        shed = sum(load["rejected"].values())
+        lines.append(
+            f"  {scenario['scenario']:10s} {scenario['rps']:6.1f} "
+            f"{load['offered']:8d} {load['completed']:6d} {shed:6d} "
+            f"{load['failed']:5d} {latency['p50']:8.2f} "
+            f"{latency['p99']:8.2f} "
+            f"{'pass' if scenario['passed'] else 'FAIL':>4s}")
+        failed_checks = [name for name, ok in scenario["checks"].items()
+                         if not ok]
+        if failed_checks:
+            lines.append(f"    failed checks: {', '.join(failed_checks)}")
+        if load["rejected"]:
+            sheds = ", ".join(f"{reason} x{count}" for reason, count
+                              in sorted(load["rejected"].items()))
+            lines.append(f"    sheds: {sheds}")
+        robustness = scenario.get("robustness", {})
+        if robustness.get("breaker_trips"):
+            lines.append(
+                f"    breaker: {robustness['breaker_trips']} trip(s), "
+                f"{robustness['breaker_recoveries']} recover(ies), "
+                f"{robustness['reroutes']} rerouted batch(es)")
+    lines.append(f"overall: {'pass' if document['passed'] else 'FAIL'}")
+    return "\n".join(lines)
+
+
 def check_baseline(
     path: str, tolerance: float = 0.25, repeats: int = 7, warmup: int = 2,
 ) -> RegressionReport:

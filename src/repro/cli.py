@@ -10,6 +10,8 @@ Subcommands::
     orpheus convert MODEL OUT.onnx  # export a zoo model to ONNX
     orpheus compile MODEL OUT.oeng  # compile a model to an engine file
     orpheus engine-info FILE.oeng   # inspect a compiled engine
+    orpheus serve MODEL             # inference service under generated load
+    orpheus serve-bench MODEL       # serving scenarios -> BENCH_serve.json
     orpheus bench figure2           # regenerate the paper's Figure 2
     orpheus bench table1            # regenerate the paper's Table I
     orpheus bench layers            # per-layer conv algorithm race
@@ -115,6 +117,49 @@ def _build_parser() -> argparse.ArgumentParser:
     conformance.add_argument("backend", nargs="?", default=None,
                              help="backend name (default: all registered)")
 
+    serve = sub.add_parser(
+        "serve", help="run the inference service under a self-generated "
+                      "load and report health/robustness")
+    _serve_pool_flags(serve)
+    serve.add_argument("--rps", type=float, default=4.0,
+                       help="offered load while the service runs")
+    serve.add_argument("--clients", type=int, default=2,
+                       help="concurrent load-generator clients")
+    serve.add_argument("--duration", type=float, default=3.0,
+                       help="seconds to keep the service under load")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline (admission control sheds "
+                            "requests that cannot make it)")
+    serve.add_argument("--inject-faults", metavar="SPEC", default=None,
+                       help="fault spec applied to the primary backend's "
+                            "worker sessions (per-worker seeds), e.g. "
+                            "'raise:op=Conv:max=3'")
+    serve.add_argument("--fault-seed", type=int, default=0)
+    serve.add_argument("--no-fallback", action="store_true",
+                       help="disable per-node kernel fallback chains in "
+                            "worker sessions")
+    serve.add_argument("--json", action="store_true",
+                       help="print a JSON document (errors included) "
+                            "instead of text")
+
+    serve_bench = sub.add_parser(
+        "serve-bench", help="serving scenario family: baseline, 2x "
+                            "overload, breaker trip/recovery")
+    _serve_pool_flags(serve_bench)
+    serve_bench.add_argument("--rps", type=float, default=None,
+                             help="override the calibrated saturation rate")
+    serve_bench.add_argument("--clients", type=int, default=4)
+    serve_bench.add_argument("--duration", type=float, default=4.0,
+                             help="seconds of load per scenario")
+    serve_bench.add_argument("--deadline-ms", type=float, default=2000.0,
+                             help="per-request deadline used by the "
+                                  "baseline and overload scenarios")
+    serve_bench.add_argument("--save", metavar="PATH", default=None,
+                             help="also write the JSON document to PATH")
+    serve_bench.add_argument("--json", action="store_true",
+                             help="print the JSON document (errors "
+                                  "included) instead of text")
+
     bench = sub.add_parser("bench", help="paper experiments")
     bench_sub = bench.add_subparsers(dest="experiment", required=True)
     figure2 = bench_sub.add_parser("figure2", help="Figure 2 grid")
@@ -176,6 +221,44 @@ def _build_parser() -> argparse.ArgumentParser:
     baseline.add_argument("--repeats", type=int, default=7)
     baseline.add_argument("--tolerance", type=float, default=0.25)
     return parser
+
+
+def _serve_pool_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``serve`` and ``serve-bench``: the pool shape."""
+    parser.add_argument("model", nargs="?", default="wrn-40-2",
+                        help="zoo model name (default: wrn-40-2)")
+    parser.add_argument("--backends", nargs="+",
+                        default=["orpheus", "direct"],
+                        help="ordered backend chain; breakers reroute "
+                             "down it (avoid 'reference' here — its "
+                             "naive kernels are orders of magnitude "
+                             "slower than every other backend)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker sessions per backend")
+    parser.add_argument("--batch", type=int, default=4,
+                        help="max dynamic batch size")
+    parser.add_argument("--batch-window-ms", type=float, default=2.0,
+                        help="how long the dispatcher waits to coalesce "
+                             "a batch")
+    parser.add_argument("--queue-capacity", type=int, default=None,
+                        help="bounded request queue size (default: "
+                             "8 * workers * batch)")
+    parser.add_argument("--threads", type=int, default=1)
+    parser.add_argument("--image-size", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--breaker-threshold", type=int, default=3,
+                        help="consecutive failures before a backend's "
+                             "breaker trips open")
+    parser.add_argument("--breaker-cooldown-s", type=float, default=1.0,
+                        help="seconds an open breaker waits before its "
+                             "half-open probe")
+    parser.add_argument("--engine-cache", metavar="DIR", default=None,
+                        help="load each backend's engine from this "
+                             "directory of compiled .oeng files "
+                             "(populated on first start)")
+    parser.add_argument("--autotune-cache", metavar="PATH", default=None,
+                        help="persistent autotune cache threaded through "
+                             "every (re)compile")
 
 
 def _session_flags(parser: argparse.ArgumentParser) -> None:
@@ -524,6 +607,128 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+#: serve/serve-bench exit codes: 0 = healthy, 1 = structured Orpheus
+#: failure, 2 = usage (argparse), 4 = service ran but degraded below its
+#: invariants (zero successes, silent drops, or a failed scenario check).
+EXIT_DEGRADED = 4
+
+
+def _serve_error(exc: BaseException, as_json: bool) -> int:
+    """The --json error envelope (or a stderr line) for serve commands."""
+    if as_json:
+        import json
+        print(json.dumps({"error": {
+            "type": type(exc).__name__, "message": str(exc)}}))
+    else:
+        print(f"error: [{type(exc).__name__}] {exc}", file=sys.stderr)
+    return 1
+
+
+def _serve_pool_kwargs(args: argparse.Namespace) -> dict:
+    from repro.engine import AutotuneCache
+    return {
+        "backends": tuple(args.backends),
+        "workers": args.workers,
+        "batch": args.batch,
+        "threads": args.threads,
+        "image_size": args.image_size,
+        "seed": args.seed,
+        "engine_cache": args.engine_cache,
+        "autotune_cache": (AutotuneCache(args.autotune_cache)
+                           if args.autotune_cache else None),
+    }
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import OrpheusError
+    from repro.serve import InferenceService, SessionPool, run_load
+
+    capacity = args.queue_capacity or 8 * args.workers * args.batch
+    try:
+        pool_kwargs = _serve_pool_kwargs(args)
+        if args.inject_faults:
+            pool_kwargs["fault_specs"] = {
+                args.backends[0]: args.inject_faults}
+            pool_kwargs["fault_seed"] = args.fault_seed
+        if args.no_fallback:
+            pool_kwargs["session_kwargs"] = {"kernel_fallback": False}
+        pool = SessionPool(args.model, **pool_kwargs)
+        with InferenceService(
+                pool=pool, queue_capacity=capacity,
+                batch_window_ms=args.batch_window_ms,
+                default_deadline_ms=args.deadline_ms,
+                breaker_threshold=args.breaker_threshold,
+                breaker_cooldown_s=args.breaker_cooldown_s) as service:
+            report = run_load(
+                service, rps=args.rps, duration_s=args.duration,
+                clients=args.clients, deadline_ms=args.deadline_ms,
+                seed=args.seed)
+            robustness = service.robustness_report()
+            health = service.health()
+    except OrpheusError as exc:
+        return _serve_error(exc, args.json)
+    healthy = report.completed > 0 and report.silent_drops == 0
+    if args.json:
+        print(json.dumps({
+            "health": health,
+            "load": report.to_dict(),
+            "robustness": {
+                "sheds": dict(robustness.sheds),
+                "breaker_trips": robustness.breaker_trips,
+                "breaker_recoveries": robustness.breaker_recoveries,
+                "reroutes": robustness.reroutes,
+                "deadline_misses": robustness.deadline_misses,
+                "failed_requests": robustness.failed_requests,
+            },
+            "healthy": healthy,
+        }, sort_keys=True))
+    else:
+        engine_hits = pool.engine_hits
+        print(f"served {args.model} for {report.duration_s:.1f}s at "
+              f"{args.rps:g} rps ({args.clients} client(s)); "
+              f"engine cache hits: {engine_hits or 'n/a'}")
+        print(f"  completed {report.completed}/{report.offered}, "
+              f"shed {report.total_rejected}, failed {report.failed}, "
+              f"silent drops {report.silent_drops}")
+        print(f"  latency ms: p50 {report.latency_ms(50):.2f} "
+              f"p99 {report.latency_ms(99):.2f}")
+        print(robustness.summary())
+        print(f"health: {health['status']}")
+    return 0 if healthy else EXIT_DEGRADED
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.regression import format_serve_bench, save_serve_bench
+    from repro.errors import OrpheusError
+    from repro.serve import run_serve_bench
+
+    try:
+        document = run_serve_bench(
+            model=args.model, backends=tuple(args.backends),
+            workers=args.workers, batch=args.batch,
+            image_size=args.image_size, duration_s=args.duration,
+            clients=args.clients, deadline_ms=args.deadline_ms,
+            rps=args.rps, engine_cache=args.engine_cache,
+            autotune_cache=_serve_pool_kwargs(args)["autotune_cache"],
+            seed=args.seed,
+            progress=None if args.json else lambda m: print(f"  .. {m}"))
+    except OrpheusError as exc:
+        return _serve_error(exc, args.json)
+    if args.json:
+        print(json.dumps(document, sort_keys=True))
+    else:
+        print(format_serve_bench(document))
+    if args.save:
+        save_serve_bench(args.save, document)
+        if not args.json:
+            print(f"wrote {args.save}")
+    return 0 if document["passed"] else EXIT_DEGRADED
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.experiment == "table1":
         from repro.bench.table1 import render_table1
@@ -636,6 +841,8 @@ _COMMANDS = {
     "conformance": _cmd_conformance,
     "quantize": _cmd_quantize,
     "analyze": _cmd_analyze,
+    "serve": _cmd_serve,
+    "serve-bench": _cmd_serve_bench,
     "bench": _cmd_bench,
 }
 

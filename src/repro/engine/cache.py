@@ -26,7 +26,9 @@ import dataclasses
 import hashlib
 import json
 import os
+import threading
 import time
+import warnings
 from typing import Any
 
 from repro.engine.fingerprint import host_fingerprint
@@ -105,6 +107,11 @@ class AutotuneCache:
         overrides = autotune(graph, candidates, cache=cache)  # hits skip racing
         cache.flush()   # merge + atomically persist new measurements
 
+    One instance may be shared across threads (a serving pool compiles
+    several backends concurrently against one cache): an internal mutex
+    serializes entry/counter access, while the lock *file* keeps separate
+    processes from clobbering each other's flushes.
+
     Attributes:
         hits / misses: lookup counters for this process.
         evicted: entries dropped at load because the file's version or
@@ -118,30 +125,35 @@ class AutotuneCache:
         self.hits = 0
         self.misses = 0
         self.evicted = 0
+        self._mutex = threading.Lock()
         self._dirty: set[str] = set()
         self._entries: dict[str, str] = self._read_entries(count_evictions=True)
 
     # -- lookups ---------------------------------------------------------------
 
     def get(self, key: str) -> str | None:
-        winner = self._entries.get(key)
-        if winner is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return winner
+        with self._mutex:
+            winner = self._entries.get(key)
+            if winner is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return winner
 
     def put(self, key: str, winner: str) -> None:
-        if self._entries.get(key) == winner:
-            return
-        self._entries[key] = winner
-        self._dirty.add(key)
+        with self._mutex:
+            if self._entries.get(key) == winner:
+                return
+            self._entries[key] = winner
+            self._dirty.add(key)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._mutex:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._mutex:
+            return key in self._entries
 
     # -- persistence -----------------------------------------------------------
 
@@ -152,24 +164,25 @@ class AutotuneCache:
         concurrent flush survives (its keys are merged back in), and the
         final rename is atomic so readers never see a torn file.
         """
-        if not self._dirty:
-            return 0
-        written = len(self._dirty)
-        parent = os.path.dirname(self.path)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        with _FileLock(self.path):
-            merged = self._read_entries(count_evictions=False)
-            for key in self._dirty:
-                merged[key] = self._entries[key]
-            _atomic_write_json(self.path, {
-                "version": AUTOTUNE_CACHE_VERSION,
-                "host": self.host,
-                "entries": dict(sorted(merged.items())),
-            })
-            self._entries = merged
-        self._dirty.clear()
-        return written
+        with self._mutex:
+            if not self._dirty:
+                return 0
+            written = len(self._dirty)
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with _FileLock(self.path):
+                merged = self._read_entries(count_evictions=False)
+                for key in self._dirty:
+                    merged[key] = self._entries[key]
+                _atomic_write_json(self.path, {
+                    "version": AUTOTUNE_CACHE_VERSION,
+                    "host": self.host,
+                    "entries": dict(sorted(merged.items())),
+                })
+                self._entries = merged
+            self._dirty.clear()
+            return written
 
     def _read_entries(self, count_evictions: bool) -> dict[str, str]:
         """Load the on-disk entries; anything suspect reads as empty.
@@ -202,12 +215,13 @@ class AutotuneCache:
         }
 
     def stats(self) -> dict[str, int]:
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evicted": self.evicted,
-        }
+        with self._mutex:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evicted": self.evicted,
+            }
 
 
 # -- engine directory cache ----------------------------------------------------------
@@ -245,6 +259,73 @@ class EngineCache:
         return EngineCacheEntry(
             key=key, path=os.path.join(self.directory, f"{prefix}{key}.oeng"))
 
+    def load_or_compile(
+        self,
+        graph: Any,
+        *,
+        model: str,
+        backend: Any = "orpheus",
+        threads: int = 1,
+        optimize: bool = True,
+        batch: int = 1,
+        image_size: int | None = None,
+        seed: int = 0,
+        tune: bool = False,
+        tune_repeats: int = 3,
+        autotune_cache: "AutotuneCache | None" = None,
+    ) -> "tuple[Any, bool]":
+        """The compiled :class:`~repro.engine.format.Engine`, cached.
+
+        Returns ``(engine, hit)``. A hit is only reported after the stored
+        engine passes the full fingerprint check (host, config, source
+        graph) — a stale or corrupt file degrades to a recompile, never an
+        error and never a silently-wrong engine. The recompile path
+        threads ``autotune_cache`` through, so even when the warm artifact
+        is lost, tuning restarts from persisted winners instead of
+        re-racing every candidate (and ``tune=True`` on a cold cache still
+        pays the race only once per cache lifetime).
+        """
+        # Imported here: the session module imports this package lazily,
+        # and a module-level import would close the cycle.
+        from repro.backends import get_backend
+        from repro.engine.compiler import compile_graph
+        from repro.engine.fingerprint import fingerprint_mismatch, graph_digest
+        from repro.engine.format import load_engine, save_engine
+        from repro.errors import EngineError, EngineFallbackWarning
+
+        backend_obj = get_backend(backend) if isinstance(backend, str) \
+            else backend
+        entry = self.entry(
+            model=model, backend=backend_obj.name, threads=threads,
+            optimize=optimize, batch=batch, image_size=image_size, seed=seed,
+            # Only keyed when tuning so pre-existing untuned digests (and
+            # their cached files) stay valid.
+            **({"tune": True} if tune else {}))
+        if entry.exists:
+            reason = None
+            try:
+                engine = load_engine(entry.path)
+            except EngineError as exc:
+                reason = str(exc)
+            else:
+                reason = fingerprint_mismatch(
+                    engine.fingerprint, backend_obj, threads, optimize,
+                    source_digest=graph_digest(graph))
+                if reason is None:
+                    return engine, True
+            warnings.warn(EngineFallbackWarning(entry.path, reason))
+        engine = compile_graph(
+            graph, backend=backend_obj, threads=threads, optimize=optimize,
+            tune=tune, tune_repeats=tune_repeats,
+            autotune_cache=autotune_cache,
+            metadata={"model": model, "cache_key": entry.key})
+        self.prepare_dir()
+        try:
+            save_engine(engine, entry.path)
+        except (OSError, EngineError):
+            pass  # a failed save must not break the caller
+        return engine, False
+
     def session(
         self,
         graph: Any,
@@ -256,41 +337,27 @@ class EngineCache:
         batch: int = 1,
         image_size: int | None = None,
         seed: int = 0,
+        tune: bool = False,
+        tune_repeats: int = 3,
+        autotune_cache: "AutotuneCache | None" = None,
         **session_kwargs: Any,
     ) -> "tuple[Any, bool]":
         """An ``InferenceSession`` for ``graph``, warm-started when cached.
 
-        Returns ``(session, hit)``. A cache hit loads the stored engine
-        via the best-effort ``engine=`` hint — a stale or corrupt file
-        degrades to a cold prepare (with its structured warning), never an
-        error. On a miss (or a failed hit) the cold-prepared session is
-        frozen back into the slot for next time; a failed *save* is
-        swallowed — a cache must not break a benchmark.
+        Returns ``(session, hit)``. Built on :meth:`load_or_compile`, so a
+        stale or corrupt cache file degrades to a recompile that still
+        sees ``autotune_cache`` — the fix for the cold-fallback path that
+        used to re-run autotune from scratch after a failed engine load.
         """
-        # Imported here: the session module imports this package lazily,
-        # and a module-level import would close the cycle.
-        from repro.engine.compiler import engine_from_session
-        from repro.engine.format import save_engine
         from repro.runtime.session import InferenceSession
 
-        backend_name = backend if isinstance(backend, str) else backend.name
-        entry = self.entry(
-            model=model, backend=backend_name, threads=threads,
-            optimize=optimize, batch=batch, image_size=image_size, seed=seed)
-        session = InferenceSession(
-            graph, backend=backend, threads=threads, optimize=optimize,
-            engine=entry.path if entry.exists else None, **session_kwargs)
-        hit = session.loaded_engine is not None
-        if not hit:
-            self.prepare_dir()
-            try:
-                save_engine(
-                    engine_from_session(
-                        session, source_graph=graph,
-                        metadata={"model": model, "cache_key": entry.key}),
-                    entry.path)
-            except OSError:
-                pass
+        engine, hit = self.load_or_compile(
+            graph, model=model, backend=backend, threads=threads,
+            optimize=optimize, batch=batch, image_size=image_size, seed=seed,
+            tune=tune, tune_repeats=tune_repeats,
+            autotune_cache=autotune_cache)
+        session = InferenceSession.from_engine(
+            engine, backend=backend, **session_kwargs)
         return session, hit
 
     def prepare_dir(self) -> None:

@@ -30,13 +30,17 @@ class ExecutionContext:
     cache: dict = dataclasses.field(default_factory=dict)
 
     def cached(self, key, compute: Callable):
-        """Return ``cache[key]``, computing and storing it on first use."""
+        """Return ``cache[key]``, computing and storing it on first use.
+
+        ``setdefault`` keeps the store single-valued even if two threads
+        race the first computation on a shared context: both compute, one
+        value wins, and every later lookup sees that same object (packed
+        weight layouts must stay aliasable across runs).
+        """
         try:
             return self.cache[key]
         except KeyError:
-            value = compute()
-            self.cache[key] = value
-            return value
+            return self.cache.setdefault(key, compute())
 
     def parallel_for(self, total: int, body: Callable[[int, int], None]) -> None:
         parallel_for(total, body, threads=self.threads)

@@ -12,6 +12,7 @@ is spent. :meth:`Executor.robustness_report` summarises what happened.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from collections.abc import Mapping, Sequence
 
@@ -202,6 +203,12 @@ class Executor:
             threads=config.threads, gemm=backend.gemm_fn)
         self.fallback_events: list[FallbackEvent] = []
         self._runs_completed = 0
+        # Guards the robustness ledger only. An executor is single-threaded
+        # on its hot path (one session, one owning thread), but health and
+        # stats surfaces read robustness_report() from *other* threads
+        # while runs are in flight; the lock makes those reads a consistent
+        # snapshot rather than a torn one.
+        self._report_lock = threading.Lock()
         # Shape/dtype checks per attempt: explicit debugging flag, or a
         # fault plan is installed (corrupt-shape faults must be caught for
         # the fallback chain to engage).
@@ -222,20 +229,27 @@ class Executor:
         }
 
     def robustness_report(self) -> RobustnessReport:
-        """Fallbacks taken, numeric violations, and injected faults so far."""
+        """Fallbacks taken, numeric violations, and injected faults so far.
+
+        Safe to call from a thread other than the one running the
+        executor (health endpoints poll this mid-run); the returned
+        report is an immutable snapshot.
+        """
         plan = self.config.fault_plan
-        return RobustnessReport(
-            runs=self._runs_completed,
-            fallback_events=tuple(self.fallback_events),
-            injected_faults=tuple(plan.events) if plan is not None else (),
-        )
+        with self._report_lock:
+            return RobustnessReport(
+                runs=self._runs_completed,
+                fallback_events=tuple(self.fallback_events),
+                injected_faults=tuple(plan.events) if plan is not None else (),
+            )
 
     def reset_robustness(self) -> None:
         """Clear the fallback log and re-arm the fault plan (if any)."""
-        self.fallback_events = []
-        self._runs_completed = 0
-        if self.config.fault_plan is not None:
-            self.config.fault_plan.reset()
+        with self._report_lock:
+            self.fallback_events = []
+            self._runs_completed = 0
+            if self.config.fault_plan is not None:
+                self.config.fault_plan.reset()
 
     # -- execution ----------------------------------------------------------------
 
@@ -315,7 +329,8 @@ class Executor:
                 values[name] = array
             for dead in release.get(entry.index, ()):
                 values.pop(dead, None)
-        self._runs_completed += 1
+        with self._report_lock:
+            self._runs_completed += 1
         if keep_values:
             return values, timings
         results = {name: values[name] for name in self.graph.output_names}
@@ -342,19 +357,21 @@ class Executor:
             except _AttemptFailure as failure:
                 failures.append((impl, failure))
                 continue
+            with self._report_lock:
+                for index, (failed, failure) in enumerate(failures):
+                    self.fallback_events.append(FallbackEvent(
+                        node_name=node.name, op_type=node.op_type,
+                        failed_impl=failed.name, kind=failure.kind,
+                        message=failure.message, attempt=index,
+                        recovered_impl=impl.name))
+            return outputs, impl
+        with self._report_lock:
             for index, (failed, failure) in enumerate(failures):
                 self.fallback_events.append(FallbackEvent(
                     node_name=node.name, op_type=node.op_type,
                     failed_impl=failed.name, kind=failure.kind,
                     message=failure.message, attempt=index,
-                    recovered_impl=impl.name))
-            return outputs, impl
-        for index, (failed, failure) in enumerate(failures):
-            self.fallback_events.append(FallbackEvent(
-                node_name=node.name, op_type=node.op_type,
-                failed_impl=failed.name, kind=failure.kind,
-                message=failure.message, attempt=index,
-                recovered_impl=None))
+                    recovered_impl=None))
         detail = "; ".join(
             f"{impl.key}: [{failure.kind}] {failure.message}"
             for impl, failure in failures)

@@ -52,7 +52,18 @@ class MemoryAdmission:
 
 
 class InferenceSession:
-    """A prepared, executable model."""
+    """A prepared, executable model.
+
+    Thread model: a session is owned by one thread. ``run`` mutates
+    per-session state (the fallback ledger, the fault plan's RNG, the
+    kernel layout cache), so concurrent ``run`` calls on *one* session are
+    not supported — a serving pool gives each worker thread its own
+    session instead (see :class:`repro.serve.SessionPool`, whose sessions
+    share the weights through a common engine graph). The read-only
+    surfaces — :meth:`robustness_report`, the plan/kernel introspection
+    properties — are safe to call from other threads while a run is in
+    flight.
+    """
 
     def __init__(
         self,

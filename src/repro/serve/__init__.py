@@ -1,0 +1,55 @@
+"""Fault-contained serving: warm session pools with admission control.
+
+The serving layer turns the runtime's per-run robustness machinery
+(kernel fallback chains, deadlines, fault injection) into a long-lived
+service that degrades gracefully under load and under backend failure:
+
+* :class:`SessionPool` — load a model once, serve it from N worker
+  sessions that share one copy of the weights.
+* :class:`AdmissionQueue` — bounded queue with deadline-aware
+  backpressure; overload becomes structured :class:`Rejected` replies.
+* :class:`CircuitBreaker` — per-backend trip/half-open/recover routing.
+* :class:`InferenceService` — dispatcher tying it together: dynamic
+  batching, backend-chain rerouting, graceful drain, health/stats.
+* :func:`run_load` / :func:`run_serve_bench` — the open-loop load
+  harness and the scenario family behind ``BENCH_serve.json``.
+"""
+
+from repro.serve.breaker import BreakerSnapshot, CircuitBreaker
+from repro.serve.loadgen import LoadReport, run_load
+from repro.serve.pool import PoolRobustnessReport, SessionPool
+from repro.serve.queue import AdmissionQueue
+from repro.serve.scenarios import run_serve_bench
+from repro.serve.service import (
+    InferenceService,
+    ServeRobustnessReport,
+    ServiceStats,
+)
+from repro.serve.types import (
+    SHED_REASONS,
+    Completed,
+    Failed,
+    PendingResponse,
+    Rejected,
+    ServeRequest,
+)
+
+__all__ = [
+    "SHED_REASONS",
+    "AdmissionQueue",
+    "BreakerSnapshot",
+    "CircuitBreaker",
+    "Completed",
+    "Failed",
+    "InferenceService",
+    "LoadReport",
+    "PendingResponse",
+    "PoolRobustnessReport",
+    "Rejected",
+    "ServeRequest",
+    "ServeRobustnessReport",
+    "ServiceStats",
+    "SessionPool",
+    "run_load",
+    "run_serve_bench",
+]

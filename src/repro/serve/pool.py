@@ -1,0 +1,253 @@
+"""Warm session pool: load a model once, serve it from N worker sessions.
+
+The pool is built around the compiled-engine warm path: the model graph is
+built once, compiled once per backend (through an
+:class:`~repro.engine.cache.EngineCache` when one is given, so restarts
+reuse the ``.oeng`` artifact), and every worker session is created with
+:meth:`~repro.runtime.session.InferenceSession.from_engine` *from the same
+in-memory engine*. Because an engine's graph is shared by reference, all
+workers share one copy of the weights — N sessions cost N small executor
+states, not N weight sets — and each warm start skips the whole prepare
+pipeline.
+
+Thread model: one worker owns one session per backend, and a session is
+only ever run by its owning worker thread. Sessions share *read-only*
+state (the graph, initializer arrays, frozen plans); everything mutable —
+fallback logs, fault plans, kernel caches — is per session, which is what
+makes the pool safe without locking the hot path. The per-backend fault
+plans are instantiated per worker for the same reason: a
+:class:`~repro.runtime.faults.FaultPlan` carries a stateful RNG.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from repro.errors import EngineError, OrpheusError
+from repro.runtime.executor import RobustnessReport
+from repro.runtime.faults import parse_fault_plan
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolRobustnessReport:
+    """Pool-wide aggregation of every worker session's robustness report."""
+
+    runs: int
+    fallback_events: int
+    recovered: int
+    exhausted: int
+    injected_faults: int
+    by_backend: dict[str, dict[str, int]]
+
+    def summary(self) -> str:
+        lines = [f"pool robustness: {self.runs} run(s), "
+                 f"{self.fallback_events} fallback event(s) "
+                 f"({self.recovered} recovered, {self.exhausted} exhausted), "
+                 f"{self.injected_faults} injected fault(s)"]
+        for backend, counts in sorted(self.by_backend.items()):
+            lines.append(
+                f"  {backend:14s} runs={counts['runs']} "
+                f"fallbacks={counts['fallback_events']} "
+                f"injected={counts['injected_faults']}")
+        return "\n".join(lines)
+
+
+class SessionPool:
+    """N worker sessions per backend, sharing one loaded copy of the model.
+
+    Args:
+        model: zoo model name or an already-built
+            :class:`~repro.ir.graph.Graph`.
+        backends: ordered backend chain; the service's dispatcher walks it
+            when circuit breakers trip.
+        workers: sessions per backend (= dispatcher thread count).
+        batch: the batch size sessions are prepared at — the dynamic
+            batcher coalesces up to this many single-sample requests.
+        engine_cache: optional :class:`~repro.engine.cache.EngineCache`
+            (or directory path); hits skip compilation entirely.
+        autotune_cache: optional persistent
+            :class:`~repro.engine.cache.AutotuneCache`, threaded through
+            every compile (including the cold fallback after a failed
+            engine load) so tuning warm-starts instead of re-racing.
+        tune: autotune at compile time (see
+            :func:`repro.engine.compiler.compile_graph`).
+        fault_specs: backend name -> fault-spec string
+            (:func:`~repro.runtime.faults.parse_fault_plan` mini-language);
+            each worker session gets its *own* plan instance, seeded
+            ``fault_seed + worker_index`` for determinism without sharing.
+        session_kwargs: extra per-session run-time knobs (``deadline_ms``,
+            ``node_timeout_ms``, ``memory_budget_bytes``, ``budget_mode``,
+            ``check_numerics``, ``kernel_fallback``) — the PR 3 guardrails
+            inherited by every worker.
+        session_factory: test seam — ``factory(backend, worker_index)``
+            returning a session-like object (``run``/``robustness_report``)
+            replaces the whole build path.
+    """
+
+    def __init__(
+        self,
+        model: Any,
+        backends: tuple[str, ...] = ("orpheus",),
+        workers: int = 2,
+        threads: int = 1,
+        batch: int = 1,
+        image_size: int | None = None,
+        seed: int = 0,
+        optimize: bool = True,
+        engine_cache: Any = None,
+        autotune_cache: Any = None,
+        tune: bool = False,
+        fault_specs: Mapping[str, str] | None = None,
+        fault_seed: int = 0,
+        session_kwargs: Mapping[str, Any] | None = None,
+        session_factory: Callable[[str, int], Any] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if not backends:
+            raise ValueError("at least one backend is required")
+        self.backends = tuple(backends)
+        self.workers = workers
+        self.batch = batch
+        self.model_name = model if isinstance(model, str) else getattr(
+            model, "name", "<graph>")
+        self._fault_specs = dict(fault_specs or {})
+        self._fault_seed = fault_seed
+        self._session_kwargs = dict(session_kwargs or {})
+        self.engine_hits: dict[str, bool] = {}
+        self.input_name: str = "input"
+        self._sessions: dict[str, list[Any]] = {}
+        if session_factory is not None:
+            for backend in self.backends:
+                self._sessions[backend] = [
+                    session_factory(backend, index)
+                    for index in range(workers)
+                ]
+            return
+        self._build(model, threads=threads, batch=batch,
+                    image_size=image_size, seed=seed, optimize=optimize,
+                    engine_cache=engine_cache, autotune_cache=autotune_cache,
+                    tune=tune)
+
+    # -- construction ----------------------------------------------------------
+
+    def _build(self, model: Any, threads: int, batch: int,
+               image_size: int | None, seed: int, optimize: bool,
+               engine_cache: Any, autotune_cache: Any, tune: bool) -> None:
+        from repro.engine.cache import EngineCache
+        from repro.models import zoo
+
+        if isinstance(model, str):
+            graph = zoo.build(model, batch=batch, image_size=image_size,
+                              seed=seed)
+        else:
+            graph = model
+        self.input_name = graph.input_names[0]
+        if isinstance(engine_cache, str):
+            engine_cache = EngineCache(engine_cache)
+        for backend in self.backends:
+            self._sessions[backend] = self._build_backend(
+                graph, backend, threads=threads, batch=batch,
+                image_size=image_size, seed=seed, optimize=optimize,
+                engine_cache=engine_cache, autotune_cache=autotune_cache,
+                tune=tune)
+
+    def _build_backend(self, graph: Any, backend: str, threads: int,
+                       batch: int, image_size: int | None, seed: int,
+                       optimize: bool, engine_cache: Any,
+                       autotune_cache: Any, tune: bool) -> list[Any]:
+        from repro.engine.compiler import compile_graph
+        from repro.runtime.session import InferenceSession
+
+        try:
+            if engine_cache is not None:
+                engine, hit = engine_cache.load_or_compile(
+                    graph, model=self.model_name, backend=backend,
+                    threads=threads, optimize=optimize, batch=batch,
+                    image_size=image_size, seed=seed, tune=tune,
+                    autotune_cache=autotune_cache)
+            else:
+                engine = compile_graph(
+                    graph, backend=backend, threads=threads,
+                    optimize=optimize, tune=tune,
+                    autotune_cache=autotune_cache,
+                    metadata={"model": self.model_name, "pool": "serve"})
+                hit = False
+        except (EngineError, OrpheusError):
+            # Compiled path unavailable (e.g. an exotic backend the engine
+            # format cannot freeze): degrade to a shared-graph cold
+            # prepare. Simplify once, share the simplified graph — weight
+            # arrays are shared by reference either way.
+            return self._build_cold(graph, backend, threads, optimize)
+        self.engine_hits[backend] = hit
+        sessions = []
+        for index in range(self.workers):
+            sessions.append(InferenceSession.from_engine(
+                engine, backend=backend,
+                **self._worker_kwargs(backend, index)))
+        return sessions
+
+    def _build_cold(self, graph: Any, backend: str, threads: int,
+                    optimize: bool) -> list[Any]:
+        from repro.runtime.session import InferenceSession
+
+        working = graph
+        if optimize:
+            from repro.passes import default_pipeline
+            working = default_pipeline().run(graph.copy())
+        self.engine_hits[backend] = False
+        return [
+            InferenceSession(
+                working, backend=backend, threads=threads, optimize=False,
+                **self._worker_kwargs(backend, index))
+            for index in range(self.workers)
+        ]
+
+    def _worker_kwargs(self, backend: str, index: int) -> dict[str, Any]:
+        kwargs = dict(self._session_kwargs)
+        spec = self._fault_specs.get(backend)
+        if spec:
+            kwargs["fault_plan"] = parse_fault_plan(
+                spec, seed=self._fault_seed + index)
+        return kwargs
+
+    # -- access ----------------------------------------------------------------
+
+    def session(self, backend: str, worker: int) -> Any:
+        """The session owned by ``worker`` for ``backend``."""
+        return self._sessions[backend][worker]
+
+    def sessions(self, backend: str) -> list[Any]:
+        return list(self._sessions[backend])
+
+    def __len__(self) -> int:
+        return sum(len(group) for group in self._sessions.values())
+
+    # -- health ----------------------------------------------------------------
+
+    def robustness_report(self) -> PoolRobustnessReport:
+        """Aggregate every worker session's robustness report pool-wide."""
+        runs = fallbacks = recovered = exhausted = injected = 0
+        by_backend: dict[str, dict[str, int]] = {}
+        for backend, group in self._sessions.items():
+            counts = {"runs": 0, "fallback_events": 0, "injected_faults": 0}
+            for session in group:
+                report = getattr(session, "robustness_report", None)
+                if report is None:
+                    continue
+                result: RobustnessReport = report()
+                counts["runs"] += result.runs
+                counts["fallback_events"] += len(result.fallback_events)
+                counts["injected_faults"] += len(result.injected_faults)
+                recovered += len(result.recovered)
+                exhausted += len(result.exhausted)
+            runs += counts["runs"]
+            fallbacks += counts["fallback_events"]
+            injected += counts["injected_faults"]
+            by_backend[backend] = counts
+        return PoolRobustnessReport(
+            runs=runs, fallback_events=fallbacks, recovered=recovered,
+            exhausted=exhausted, injected_faults=injected,
+            by_backend=by_backend)

@@ -1,0 +1,143 @@
+"""Request/response vocabulary of the serving layer.
+
+Every request submitted to an :class:`~repro.serve.service.InferenceService`
+reaches exactly one *terminal outcome* — :class:`Completed`,
+:class:`Rejected`, or :class:`Failed`. Saturation, faults, and shutdown all
+surface as structured values (never unbounded latency, never a silently
+dropped request): that accounting is the serving layer's headline property,
+and the load generator asserts it end to end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+import numpy as np
+
+#: Admission/shedding reasons a :class:`Rejected` response may carry.
+SHED_REASONS = (
+    "queue-full",        # bounded queue at capacity
+    "overload",          # estimated wait exceeds the request's deadline
+    "breaker-open",      # every backend's circuit breaker is open
+    "expired-in-queue",  # deadline passed before the dispatcher got to it
+    "draining",          # graceful shutdown: in-flight finishes, new rejected
+    "stopped",           # service already shut down
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeRequest:
+    """One admitted inference request (a single sample, batch coalesced later).
+
+    Attributes:
+        id: caller-supplied or auto-assigned identifier.
+        sample: one input sample *without* the batch axis (e.g. CHW).
+        deadline_ms: wall-clock budget from submission, or None.
+        submitted_at: ``time.monotonic()`` at admission.
+    """
+
+    id: str
+    sample: np.ndarray
+    deadline_ms: float | None
+    submitted_at: float
+
+    @property
+    def deadline_at(self) -> float | None:
+        if self.deadline_ms is None:
+            return None
+        return self.submitted_at + self.deadline_ms / 1e3
+
+    def remaining_ms(self, now: float | None = None) -> float | None:
+        """Milliseconds left on the deadline (negative = expired)."""
+        if self.deadline_ms is None:
+            return None
+        now = time.monotonic() if now is None else now
+        return (self.deadline_at - now) * 1e3
+
+
+@dataclasses.dataclass(frozen=True)
+class Completed:
+    """A request that ran: its output plus serving metadata."""
+
+    id: str
+    output: np.ndarray
+    latency_ms: float       # submission -> response, queueing included
+    backend: str            # backend that actually served it
+    batch_size: int         # how many requests shared its batch
+    late: bool = False      # finished after its own deadline
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+
+@dataclasses.dataclass(frozen=True)
+class Rejected:
+    """Load was shed, structurally: the reason and when to come back.
+
+    ``retry_after_s`` is the service's estimate of when capacity frees up
+    (``None`` when retrying is pointless, e.g. after shutdown).
+    """
+
+    id: str
+    reason: str             # one of SHED_REASONS
+    retry_after_s: float | None
+    message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        retry = (f", retry in {self.retry_after_s:.3f}s"
+                 if self.retry_after_s is not None else "")
+        return f"rejected[{self.reason}] {self.id}: {self.message}{retry}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Failed:
+    """A request that was admitted but whose execution failed everywhere."""
+
+    id: str
+    error_type: str
+    message: str
+    backend: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        where = f" on {self.backend}" if self.backend else ""
+        return f"failed {self.id}{where}: {self.error_type}: {self.message}"
+
+
+Response = "Completed | Rejected | Failed"
+
+
+class PendingResponse:
+    """Handle for an admitted request; resolves to exactly one response."""
+
+    def __init__(self, request: ServeRequest) -> None:
+        self.request = request
+        self._event = threading.Event()
+        self._response: "Completed | Rejected | Failed | None" = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def resolve(self, response: "Completed | Rejected | Failed") -> None:
+        """Deliver the terminal outcome (first resolution wins)."""
+        if self._event.is_set():
+            return
+        self._response = response
+        self._event.set()
+
+    def result(self, timeout: float | None = None) -> "Completed | Rejected | Failed | None":
+        """Block for the outcome; ``None`` only if ``timeout`` expires."""
+        if not self._event.wait(timeout):
+            return None
+        return self._response

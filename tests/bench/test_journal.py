@@ -48,6 +48,51 @@ class TestRunJournal:
         assert len(book) == 1
         assert book.corrupt_lines == 1
 
+    def test_truncated_tail_is_trimmed_from_the_file(self, tmp_path):
+        """Hard-kill recovery: the partial line must leave the file too.
+
+        Tolerating the tail only in memory is not enough — the next append
+        would concatenate onto it and corrupt the *following* record, so a
+        single kill would poison the journal permanently.
+        """
+        path = tmp_path / "run.jsonl"
+        RunJournal(path).record_measurement({"cell": 1}, [0.1])
+        clean_size = path.stat().st_size
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "measurement", "key": {"cell"')  # killed
+        assert path.stat().st_size > clean_size
+        RunJournal(path, resume=True)
+        assert path.stat().st_size == clean_size  # tail gone from disk
+
+    def test_append_after_crash_recovery_stays_clean(self, tmp_path):
+        """Resume-after-kill, record more cells, resume again: no corruption."""
+        path = tmp_path / "run.jsonl"
+        RunJournal(path).record_measurement({"cell": 1}, [0.1])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "measurement", "key": {"cell": 2}, "pa')
+        recovered = RunJournal(path, resume=True)
+        assert recovered.corrupt_lines == 1
+        recovered.record_measurement({"cell": 2}, [0.2])
+        recovered.record_measurement({"cell": 3}, [0.3])
+        again = RunJournal(path, resume=True)
+        assert len(again) == 3
+        assert again.corrupt_lines == 0
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                json.loads(line)  # every surviving line parses
+
+    def test_torn_final_line_with_newline_is_trimmed(self, tmp_path):
+        """A garbage final line that *did* get its newline is also dropped."""
+        path = tmp_path / "run.jsonl"
+        RunJournal(path).record_measurement({"cell": 1}, [0.1])
+        clean_size = path.stat().st_size
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "measurem\n')
+        book = RunJournal(path, resume=True)
+        assert len(book) == 1
+        assert book.corrupt_lines == 1
+        assert path.stat().st_size == clean_size
+
     def test_malformed_interior_line_raises(self, tmp_path):
         path = tmp_path / "run.jsonl"
         RunJournal(path).record_measurement({"cell": 1}, [0.1])

@@ -1,0 +1,173 @@
+"""Autotune-cache concurrency: racing writers must never lose winners.
+
+The persistent cache is shared by worker threads inside one process (the
+serving pool compiles backends with a common cache) and by sibling
+processes (parallel bench campaigns pointed at one ``--autotune-cache``
+path). Both levels are exercised here:
+
+* threads sharing one :class:`AutotuneCache` instance — the in-memory
+  dict is mutex-guarded, so concurrent put/get/flush never corrupts it;
+* threads and processes each holding their *own* instance over one file —
+  ``flush()`` is read-merge-replace under the lock file, so the last
+  writer merges everyone else's winners instead of clobbering them.
+
+Plus the cold-fallback integration: a corrupt engine file must degrade to
+a recompile that *warm-starts* tuning from the persisted winners (the bug
+was re-racing every candidate because the fallback path dropped the
+cache).
+"""
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.engine.cache import AutotuneCache, EngineCache
+from repro.errors import EngineFallbackWarning
+from tests.conftest import tiny_classifier
+
+
+class TestThreadsSharedInstance:
+    def test_concurrent_puts_all_land(self, tmp_path):
+        cache = AutotuneCache(tmp_path / "tune.json")
+        barrier = threading.Barrier(8)
+
+        def writer(index: int) -> None:
+            barrier.wait()
+            for slot in range(25):
+                cache.put(f"t{index}-k{slot}", "direct")
+
+        threads = [threading.Thread(target=writer, args=(index,))
+                   for index in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) == 8 * 25
+        cache.flush()
+        reloaded = AutotuneCache(tmp_path / "tune.json")
+        assert len(reloaded) == 8 * 25
+
+    def test_concurrent_get_put_flush_is_safe(self, tmp_path):
+        cache = AutotuneCache(tmp_path / "tune.json")
+        stop = threading.Event()
+        errors = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                cache.get("t0-k0")
+                cache.stats()
+                "t0-k0" in cache  # noqa: B015 — exercising __contains__
+
+        def flusher() -> None:
+            while not stop.is_set():
+                try:
+                    cache.flush()
+                except Exception as exc:  # pragma: no cover - the assert
+                    errors.append(exc)
+
+        side = [threading.Thread(target=reader),
+                threading.Thread(target=flusher)]
+        for thread in side:
+            thread.start()
+        for index in range(4):
+            for slot in range(50):
+                cache.put(f"t{index}-k{slot}", "im2col")
+        stop.set()
+        for thread in side:
+            thread.join()
+        assert not errors
+        cache.flush()
+        assert len(AutotuneCache(tmp_path / "tune.json")) == 4 * 50
+
+
+class TestThreadsSeparateInstances:
+    def test_racing_flushes_merge_every_winner(self, tmp_path):
+        """Read-merge-replace over one file: no sibling's keys are lost."""
+        path = tmp_path / "tune.json"
+        siblings = [AutotuneCache(path) for _ in range(6)]
+        barrier = threading.Barrier(len(siblings))
+
+        def campaign(index: int) -> None:
+            sibling = siblings[index]
+            for slot in range(10):
+                sibling.put(f"s{index}-k{slot}", "winograd")
+            barrier.wait()          # maximise flush contention
+            sibling.flush()
+
+        threads = [threading.Thread(target=campaign, args=(index,))
+                   for index in range(len(siblings))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        merged = AutotuneCache(path)
+        assert len(merged) == 6 * 10
+        for index in range(6):
+            for slot in range(10):
+                assert merged.get(f"s{index}-k{slot}") == "winograd"
+
+
+def _process_campaign(path: str, index: int) -> None:
+    cache = AutotuneCache(path)
+    for slot in range(10):
+        cache.put(f"p{index}-k{slot}", "direct")
+    cache.flush()
+
+
+class TestProcesses:
+    def test_sibling_processes_never_lose_winners(self, tmp_path):
+        path = str(tmp_path / "tune.json")
+        processes = [
+            multiprocessing.Process(
+                target=_process_campaign, args=(path, index))
+            for index in range(4)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        merged = AutotuneCache(path)
+        assert len(merged) == 4 * 10
+        for index in range(4):
+            assert merged.get(f"p{index}-k0") == "direct"
+
+
+class TestColdFallbackWarmStart:
+    def test_corrupt_engine_recompile_reuses_tuned_winners(self, tmp_path):
+        """Satellite fix: the fallback recompile must see the tune cache.
+
+        First compile tunes and persists winners. The engine file is then
+        corrupted; the next ``load_or_compile`` warns, recompiles — and
+        must *hit* the autotune cache instead of re-racing, leaving
+        nothing new to flush.
+        """
+        graph = tiny_classifier()
+        engines = EngineCache(tmp_path / "engines")
+        tune_path = tmp_path / "tune.json"
+        request = dict(model="tiny", backend="orpheus", threads=1,
+                       optimize=True, batch=1, image_size=None, seed=0,
+                       tune=True)
+
+        first_tuner = AutotuneCache(tune_path)
+        _, hit = engines.load_or_compile(
+            graph, autotune_cache=first_tuner, **request)
+        assert hit is False
+        assert tune_path.exists()            # winners were persisted
+        assert len(AutotuneCache(tune_path)) >= 1
+
+        entry = engines.entry(
+            model="tiny", backend="orpheus", threads=1, optimize=True,
+            batch=1, image_size=None, seed=0, tune=True)
+        assert entry.exists
+        with open(entry.path, "wb") as handle:
+            handle.write(b"garbage, not an engine")
+
+        second_tuner = AutotuneCache(tune_path)
+        with pytest.warns(EngineFallbackWarning):
+            _, hit = engines.load_or_compile(
+                graph, autotune_cache=second_tuner, **request)
+        assert hit is False
+        assert second_tuner.hits >= 1        # warm-started from winners
+        assert second_tuner.flush() == 0     # nothing was re-raced

@@ -1,0 +1,96 @@
+"""Load generator: open-loop accounting must close the books exactly."""
+
+import numpy as np
+import pytest
+
+from repro.serve.loadgen import LoadReport, percentile, run_load
+from repro.serve.pool import SessionPool
+from repro.serve.scenarios import _merge_reports
+from repro.serve.service import InferenceService
+from tests.serve.helpers import make_factory
+
+
+def make_service(behaviour=None, **kwargs):
+    pool = SessionPool("fake", backends=("a",), workers=1, batch=2,
+                       session_factory=make_factory(behaviour))
+    return InferenceService(pool=pool, **kwargs)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_nearest_rank(self):
+        data = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(data, 50) == 20.0
+        assert percentile(data, 100) == 40.0
+        assert percentile(data, 1) == 10.0
+
+    def test_order_insensitive(self):
+        assert percentile([3.0, 1.0, 2.0], 100) == 3.0
+
+
+class TestRunLoad:
+    def test_books_close_with_zero_silent_drops(self):
+        with make_service() as service:
+            report = run_load(service, rps=40.0, duration_s=0.5,
+                              clients=2, seed=1)
+        assert report.offered > 0
+        assert report.completed > 0
+        assert report.silent_drops == 0
+        assert report.offered == (report.completed + report.total_rejected
+                                  + report.failed + report.timed_out)
+        assert len(report.latencies_ms) == report.completed
+        assert sum(report.per_backend.values()) == report.completed
+
+    def test_saturation_sheds_structurally_not_silently(self):
+        behaviour = {"a": {"delay_s": 0.05}}
+        with make_service(behaviour=behaviour,
+                          queue_capacity=2) as service:
+            report = run_load(service, rps=200.0, duration_s=0.5,
+                              clients=4, seed=2)
+        assert report.total_rejected > 0      # overload was shed...
+        assert report.silent_drops == 0       # ...with zero vanishing
+        assert report.completed > 0           # while work still flowed
+        assert set(report.rejected) <= {"queue-full", "overload"}
+
+    def test_custom_sample_and_rps_validation(self):
+        with make_service() as service:
+            with pytest.raises(ValueError, match="rps"):
+                run_load(service, rps=0.0, duration_s=0.1)
+            report = run_load(
+                service, rps=10.0, duration_s=0.2, clients=1,
+                sample=np.ones((4,), dtype=np.float32), seed=3)
+        assert report.silent_drops == 0
+
+    def test_to_dict_round_trips_the_invariant(self):
+        with make_service() as service:
+            report = run_load(service, rps=20.0, duration_s=0.3,
+                              clients=1, seed=4)
+        document = report.to_dict()
+        assert document["silent_drops"] == 0
+        assert document["offered"] == report.offered
+        assert set(document["latency_ms"]) == {"p50", "p90", "p99", "max"}
+
+
+class TestMergeReports:
+    def test_counts_and_latencies_accumulate(self):
+        first = LoadReport(
+            offered=10, completed=8, rejected={"queue-full": 2}, failed=0,
+            timed_out=0, duration_s=1.0, target_rps=10.0,
+            latencies_ms=(1.0, 2.0), late_completions=1,
+            per_backend={"a": 8})
+        second = LoadReport(
+            offered=5, completed=3, rejected={"queue-full": 1,
+                                              "overload": 1}, failed=0,
+            timed_out=0, duration_s=0.5, target_rps=10.0,
+            latencies_ms=(3.0,), late_completions=0,
+            per_backend={"a": 2, "b": 1})
+        merged = _merge_reports(first, second)
+        assert merged.offered == 15
+        assert merged.completed == 11
+        assert merged.rejected == {"queue-full": 3, "overload": 1}
+        assert merged.latencies_ms == (1.0, 2.0, 3.0)
+        assert merged.per_backend == {"a": 10, "b": 1}
+        assert merged.silent_drops == 0
+        assert merged.duration_s == pytest.approx(1.5)

@@ -1,0 +1,122 @@
+"""Session pool: shared weights, engine-cache reuse, per-worker fault plans."""
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import EngineCache
+from repro.serve.pool import SessionPool
+from tests.conftest import tiny_classifier
+from tests.serve.helpers import FakeSession, make_factory
+
+
+class TestConstruction:
+    def test_validates_workers_and_backends(self):
+        with pytest.raises(ValueError, match="workers"):
+            SessionPool("x", workers=0, session_factory=FakeSession)
+        with pytest.raises(ValueError, match="backend"):
+            SessionPool("x", backends=(), session_factory=FakeSession)
+
+    def test_factory_builds_one_session_per_backend_per_worker(self):
+        factory = make_factory()
+        pool = SessionPool("fake", backends=("a", "b"), workers=3,
+                           session_factory=factory)
+        assert len(pool) == 6
+        assert len(factory.sessions) == 6
+        assert pool.session("a", 0) is not pool.session("a", 1)
+        assert pool.session("b", 2).backend == "b"
+        assert pool.sessions("a") == factory.sessions[:3]
+
+
+class TestWarmPath:
+    def test_workers_share_one_copy_of_the_weights(self):
+        """The headline property: N sessions, one weight set."""
+        pool = SessionPool(tiny_classifier(), backends=("orpheus",),
+                           workers=3, batch=1)
+        sessions = pool.sessions("orpheus")
+        assert len(sessions) == 3
+        first = sessions[0].graph
+        for session in sessions[1:]:
+            assert session.graph is first  # by reference, not a copy
+        for name, array in first.initializers.items():
+            for session in sessions[1:]:
+                assert session.graph.initializers[name] is array
+
+    def test_workers_agree_on_outputs(self):
+        graph = tiny_classifier()
+        pool = SessionPool(graph, backends=("orpheus",), workers=2, batch=1)
+        feeds = {pool.input_name: np.random.default_rng(0)
+                 .standard_normal((1, 3, 8, 8)).astype(np.float32)}
+        out0 = pool.session("orpheus", 0).run(feeds)
+        out1 = pool.session("orpheus", 1).run(feeds)
+        for name in out0:
+            np.testing.assert_allclose(out0[name], out1[name])
+
+    def test_engine_cache_hit_on_second_pool(self, tmp_path):
+        cache = EngineCache(tmp_path / "engines")
+        kwargs = dict(backends=("orpheus",), workers=2, batch=1,
+                      engine_cache=cache)
+        cold = SessionPool(tiny_classifier(), **kwargs)
+        assert cold.engine_hits == {"orpheus": False}
+        warm = SessionPool(tiny_classifier(), **kwargs)
+        assert warm.engine_hits == {"orpheus": True}
+
+    def test_engine_cache_accepts_a_directory_path(self, tmp_path):
+        pool = SessionPool(tiny_classifier(), backends=("orpheus",),
+                           workers=1, batch=1,
+                           engine_cache=str(tmp_path / "engines"))
+        assert pool.engine_hits == {"orpheus": False}
+        assert (tmp_path / "engines").exists()
+
+    def test_input_name_comes_from_the_graph(self):
+        pool = SessionPool(tiny_classifier(), backends=("orpheus",),
+                           workers=1, batch=1)
+        assert pool.input_name == "input"
+
+
+class TestFaultPlans:
+    def test_each_worker_gets_its_own_seeded_plan(self):
+        pool = SessionPool(
+            tiny_classifier(), backends=("orpheus",), workers=2, batch=1,
+            fault_specs={"orpheus": "raise:op=Conv:max=1"}, fault_seed=7)
+        plans = [session._executor.config.fault_plan
+                 for session in pool.sessions("orpheus")]
+        assert plans[0] is not None
+        assert plans[0] is not plans[1]  # stateful RNGs must not be shared
+
+    def test_fault_spec_only_applies_to_named_backend(self):
+        factory_calls = []
+
+        def factory(backend, index):
+            factory_calls.append((backend, index))
+            return FakeSession(backend, index)
+
+        SessionPool("fake", backends=("a", "b"), workers=1,
+                    fault_specs={"a": "raise:op=Conv:max=1"},
+                    session_factory=factory)
+        # the factory seam bypasses fault wiring; this asserts the pool
+        # still instantiated every (backend, worker) pair exactly once
+        assert factory_calls == [("a", 0), ("b", 0)]
+
+
+class TestRobustnessRollup:
+    def test_aggregates_runs_across_backends_and_workers(self):
+        factory = make_factory()
+        pool = SessionPool("fake", backends=("a", "b"), workers=2,
+                           session_factory=factory)
+        feeds = {"input": np.zeros((1, 4), dtype=np.float32)}
+        pool.session("a", 0).run(feeds)
+        pool.session("a", 1).run(feeds)
+        pool.session("b", 0).run(feeds)
+        report = pool.robustness_report()
+        assert report.runs == 3
+        assert report.by_backend["a"]["runs"] == 2
+        assert report.by_backend["b"]["runs"] == 1
+        assert "pool robustness" in report.summary()
+
+    def test_sessions_without_reports_are_tolerated(self):
+        class Bare:
+            pass
+
+        pool = SessionPool("fake", backends=("a",), workers=1,
+                           session_factory=lambda backend, index: Bare())
+        assert pool.robustness_report().runs == 0

@@ -1,0 +1,132 @@
+"""Admission queue: depth bound, wait backpressure, coalescing, close."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.queue import AdmissionQueue
+from repro.serve.types import PendingResponse, Rejected, ServeRequest
+
+
+def make_pending(request_id="r1", deadline_ms=None):
+    return PendingResponse(ServeRequest(
+        id=request_id, sample=np.zeros(4, dtype=np.float32),
+        deadline_ms=deadline_ms, submitted_at=time.monotonic()))
+
+
+class TestAdmission:
+    def test_admits_until_capacity_then_sheds_queue_full(self):
+        queue = AdmissionQueue(capacity=2)
+        assert queue.try_admit(make_pending("a")) is None
+        assert queue.try_admit(make_pending("b")) is None
+        rejection = queue.try_admit(make_pending("c"))
+        assert isinstance(rejection, Rejected)
+        assert rejection.reason == "queue-full"
+        assert rejection.retry_after_s is not None
+        assert queue.sheds == {"queue-full": 1}
+        assert len(queue) == 2  # the shed request consumed no capacity
+
+    def test_overload_sheds_up_front_when_wait_exceeds_deadline(self):
+        # EWMA seeded at 50 ms: a 10 ms deadline can never be met, so the
+        # request must be shed at admission, not admitted to expire.
+        queue = AdmissionQueue(capacity=64, initial_service_s=0.05)
+        rejection = queue.try_admit(make_pending(deadline_ms=10.0))
+        assert rejection is not None
+        assert rejection.reason == "overload"
+        assert "deadline" in rejection.message
+
+    def test_loose_deadline_is_admitted(self):
+        queue = AdmissionQueue(capacity=64, initial_service_s=0.05)
+        assert queue.try_admit(make_pending(deadline_ms=500.0)) is None
+
+    def test_draining_sheds_everything(self):
+        queue = AdmissionQueue(capacity=4)
+        rejection = queue.try_admit(make_pending(), draining=True)
+        assert rejection.reason == "draining"
+
+    def test_closed_sheds_stopped(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.close()
+        rejection = queue.try_admit(make_pending())
+        assert rejection.reason == "stopped"
+        assert rejection.retry_after_s is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+
+
+class TestBatching:
+    def test_take_batch_returns_empty_on_timeout(self):
+        queue = AdmissionQueue(capacity=4)
+        assert queue.take_batch(4, window_ms=1.0, poll_s=0.01) == []
+
+    def test_take_batch_coalesces_waiting_items(self):
+        queue = AdmissionQueue(capacity=8)
+        pendings = [make_pending(f"r{i}") for i in range(3)]
+        for pending in pendings:
+            queue.try_admit(pending)
+        batch = queue.take_batch(4, window_ms=1.0)
+        assert [p.request.id for p in batch] == ["r0", "r1", "r2"]
+        assert len(queue) == 0
+
+    def test_take_batch_respects_max_batch(self):
+        queue = AdmissionQueue(capacity=8)
+        for index in range(5):
+            queue.try_admit(make_pending(f"r{index}"))
+        assert len(queue.take_batch(2, window_ms=1.0)) == 2
+        assert len(queue) == 3
+
+    def test_window_zero_takes_single_item_immediately(self):
+        queue = AdmissionQueue(capacity=8)
+        queue.try_admit(make_pending("a"))
+        queue.try_admit(make_pending("b"))
+        batch = queue.take_batch(4, window_ms=0.0)
+        assert len(batch) == 1
+
+    def test_window_picks_up_late_arrival(self):
+        queue = AdmissionQueue(capacity=8)
+        queue.try_admit(make_pending("first"))
+        late = make_pending("late")
+
+        def arrive_late():
+            time.sleep(0.02)
+            queue.try_admit(late)
+
+        thread = threading.Thread(target=arrive_late)
+        thread.start()
+        batch = queue.take_batch(4, window_ms=200.0)
+        thread.join()
+        assert [p.request.id for p in batch] == ["first", "late"]
+
+
+class TestBookkeeping:
+    def test_ewma_moves_toward_observations(self):
+        queue = AdmissionQueue(ewma_alpha=0.5, initial_service_s=0.1)
+        queue.observe_batch(0.3)
+        assert queue.ewma_batch_s == pytest.approx(0.2)
+        queue.observe_batch(0.3)
+        assert queue.ewma_batch_s == pytest.approx(0.25)
+
+    def test_estimated_wait_scales_with_depth(self):
+        queue = AdmissionQueue(capacity=64, workers=2, batch=2,
+                               initial_service_s=0.1)
+        empty = queue.estimated_wait_s()
+        assert empty == pytest.approx(0.1)  # own batch only
+        for index in range(8):
+            queue.try_admit(make_pending(f"r{index}"))
+        # 8 queued / (2 workers * batch 2) = 2 batch-rounds ahead + own
+        assert queue.estimated_wait_s() == pytest.approx(0.3)
+
+    def test_close_returns_stranded_items(self):
+        queue = AdmissionQueue(capacity=8)
+        pendings = [make_pending(f"r{index}") for index in range(3)]
+        for pending in pendings:
+            queue.try_admit(pending)
+        stranded = queue.close()
+        assert stranded == pendings
+        assert len(queue) == 0
+        # closing wakes blocked take_batch calls with an empty batch
+        assert queue.take_batch(4, window_ms=1.0, poll_s=0.01) == []
