@@ -79,6 +79,7 @@ def save_baseline(path: str, configs=None,
     document = measure_baseline(configs, repeats=repeats, warmup=warmup)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)
+        handle.write("\n")
     return document
 
 
@@ -266,6 +267,61 @@ def format_serve_bench(document: dict) -> str:
                 f"    breaker: {robustness['breaker_trips']} trip(s), "
                 f"{robustness['breaker_recoveries']} recover(ies), "
                 f"{robustness['reroutes']} rerouted batch(es)")
+    lines.append(f"overall: {'pass' if document['passed'] else 'FAIL'}")
+    return "\n".join(lines)
+
+
+def save_chaos_bench(path: str, document: dict) -> dict:
+    """Persist a :func:`repro.serve.run_chaos_bench` document as JSON.
+
+    Everything recorded is structural (deaths, restarts, quarantine,
+    closed-books accounting, pass/fail checks) except the recovery
+    seconds, which are machine-local but bounded by the committed
+    ``recovery_window_s``.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def format_chaos_bench(document: dict) -> str:
+    """The serve-chaos document as an aligned text report."""
+    lines = [
+        f"serve chaos: {document['model']} "
+        f"workers={document['workers']} killed={document['killed']} "
+        f"max_batch={document['max_batch']} "
+        f"(recovery window {document['recovery_window_s']:g}s)",
+    ]
+    for scenario in document["scenarios"]:
+        supervision = scenario["supervision"]
+        deaths = ", ".join(
+            f"{reason} x{count}"
+            for reason, count in sorted(supervision["deaths"].items()))
+        status = "pass" if scenario["passed"] else "FAIL"
+        lines.append(
+            f"  {scenario['scenario']:18s} {status:>4s}  "
+            f"alive {supervision['alive']}/{supervision['workers']}, "
+            f"{supervision['restarts']} restart(s)"
+            + (f", deaths: {deaths}" if deaths else ""))
+        if scenario.get("recovery_s") is not None:
+            lines.append(
+                f"    recovered in {scenario['recovery_s']:.2f}s")
+        if supervision["quarantined"]:
+            lines.append(
+                f"    quarantined: "
+                f"{', '.join(supervision['quarantined'])}")
+        load = scenario.get("load")
+        if load:
+            lines.append(
+                f"    load: {load['completed']}/{load['offered']} "
+                f"completed, {sum(load['rejected'].values())} shed, "
+                f"{load['failed']} failed, "
+                f"{load['silent_drops']} silent drop(s)")
+        failed_checks = [name for name, ok in scenario["checks"].items()
+                         if not ok]
+        if failed_checks:
+            lines.append(f"    failed checks: {', '.join(failed_checks)}")
     lines.append(f"overall: {'pass' if document['passed'] else 'FAIL'}")
     return "\n".join(lines)
 

@@ -12,6 +12,7 @@ Subcommands::
     orpheus engine-info FILE.oeng   # inspect a compiled engine
     orpheus serve MODEL             # inference service under generated load
     orpheus serve-bench MODEL       # serving scenarios -> BENCH_serve.json
+    orpheus serve-chaos MODEL       # kill/poison/hang chaos -> BENCH_chaos.json
     orpheus bench figure2           # regenerate the paper's Figure 2
     orpheus bench table1            # regenerate the paper's Table I
     orpheus bench layers            # per-layer conv algorithm race
@@ -160,6 +161,41 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="print the JSON document (errors "
                                   "included) instead of text")
 
+    serve_chaos = sub.add_parser(
+        "serve-chaos", help="chaos scenario family for process workers: "
+                            "kill K of N mid-load, poison-request "
+                            "quarantine, hang detection")
+    serve_chaos.add_argument("model", nargs="?", default="wrn-40-2",
+                             help="zoo model name, or '@loopback' for the "
+                                  "millisecond-startup diagnostic model")
+    serve_chaos.add_argument("--workers", type=int, default=4,
+                             help="process workers in the pool")
+    serve_chaos.add_argument("--kill", type=int, default=2,
+                             help="workers to SIGKILL mid-load")
+    serve_chaos.add_argument("--batch", type=int, default=2,
+                             help="max dynamic batch size")
+    serve_chaos.add_argument("--image-size", type=int, default=8,
+                             help="input resolution for real models")
+    serve_chaos.add_argument("--duration", type=float, default=3.0,
+                             help="seconds of load in the kill scenario")
+    serve_chaos.add_argument("--clients", type=int, default=4)
+    serve_chaos.add_argument("--deadline-ms", type=float, default=2000.0)
+    serve_chaos.add_argument("--rps", type=float, default=None,
+                             help="override the calibrated offered rate")
+    serve_chaos.add_argument("--recovery-window-s", type=float,
+                             default=10.0,
+                             help="seconds the pool gets to return to "
+                                  "full strength after the last kill")
+    serve_chaos.add_argument("--engine-cache", metavar="DIR", default=None,
+                             help="shared .oeng directory the worker "
+                                  "processes warm-start from")
+    serve_chaos.add_argument("--seed", type=int, default=0)
+    serve_chaos.add_argument("--save", metavar="PATH", default=None,
+                             help="also write the JSON document to PATH")
+    serve_chaos.add_argument("--json", action="store_true",
+                             help="print the JSON document (errors "
+                                  "included) instead of text")
+
     bench = sub.add_parser("bench", help="paper experiments")
     bench_sub = bench.add_subparsers(dest="experiment", required=True)
     figure2 = bench_sub.add_parser("figure2", help="Figure 2 grid")
@@ -235,6 +271,11 @@ def _serve_pool_flags(parser: argparse.ArgumentParser) -> None:
                              "slower than every other backend)")
     parser.add_argument("--workers", type=int, default=2,
                         help="worker sessions per backend")
+    parser.add_argument("--worker-mode", choices=("thread", "process"),
+                        default="thread",
+                        help="'process' isolates every worker in its own "
+                             "OS process (crash containment, heartbeats, "
+                             "poison-request quarantine)")
     parser.add_argument("--batch", type=int, default=4,
                         help="max dynamic batch size")
     parser.add_argument("--batch-window-ms", type=float, default=2.0,
@@ -639,36 +680,113 @@ def _serve_pool_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
+class _GracefulSignal(Exception):
+    """SIGTERM/SIGINT arrived while ``serve`` was running; drain and exit."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"signal {signum}")
+        self.signum = signum
+
+
+def _drain_on_signal(service, sig: "_GracefulSignal", as_json: bool) -> int:
+    """The graceful-shutdown path of ``orpheus serve``.
+
+    Stops admitting (new arrivals shed ``draining``), resolves every
+    already-admitted request, then closes. Exit 0 when the books closed
+    inside the drain timeout, EXIT_DEGRADED when work had to be cut off.
+    """
+    import json
+    import signal as signal_mod
+
+    name = signal_mod.Signals(sig.signum).name
+    drained = service.drain(timeout=10.0)
+    stats = service.stats()
+    service.close(drain=False)
+    closed_books = drained and stats.outstanding == 0
+    if as_json:
+        print(json.dumps({
+            "signal": name,
+            "drained": drained,
+            "outstanding": stats.outstanding,
+            "health": service.health(),
+        }, sort_keys=True))
+    else:
+        print(f"received {name}: drained={'yes' if drained else 'NO'}, "
+              f"outstanding={stats.outstanding}, "
+              f"resolved {stats.completed} completed / "
+              f"{stats.total_rejected} shed / {stats.failed} failed")
+    return 0 if closed_books else EXIT_DEGRADED
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
+    import signal as signal_mod
 
     from repro.errors import OrpheusError
     from repro.serve import InferenceService, SessionPool, run_load
 
     capacity = args.queue_capacity or 8 * args.workers * args.batch
+    service = None
+    previous_handlers = {}
+
+    def _on_signal(signum: int, frame: object) -> None:
+        raise _GracefulSignal(signum)
+
+    for signum in (signal_mod.SIGTERM, signal_mod.SIGINT):
+        previous_handlers[signum] = signal_mod.signal(signum, _on_signal)
     try:
-        pool_kwargs = _serve_pool_kwargs(args)
-        if args.inject_faults:
-            pool_kwargs["fault_specs"] = {
-                args.backends[0]: args.inject_faults}
-            pool_kwargs["fault_seed"] = args.fault_seed
-        if args.no_fallback:
-            pool_kwargs["session_kwargs"] = {"kernel_fallback": False}
-        pool = SessionPool(args.model, **pool_kwargs)
-        with InferenceService(
-                pool=pool, queue_capacity=capacity,
-                batch_window_ms=args.batch_window_ms,
-                default_deadline_ms=args.deadline_ms,
-                breaker_threshold=args.breaker_threshold,
-                breaker_cooldown_s=args.breaker_cooldown_s) as service:
-            report = run_load(
-                service, rps=args.rps, duration_s=args.duration,
-                clients=args.clients, deadline_ms=args.deadline_ms,
-                seed=args.seed)
-            robustness = service.robustness_report()
-            health = service.health()
+        service_kwargs = dict(
+            queue_capacity=capacity,
+            batch_window_ms=args.batch_window_ms,
+            default_deadline_ms=args.deadline_ms,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown_s=args.breaker_cooldown_s,
+            jitter_seed=args.seed)
+        if args.worker_mode == "process":
+            pool_kwargs = _serve_pool_kwargs(args)
+            if args.inject_faults:
+                pool_kwargs["fault_spec"] = args.inject_faults
+                pool_kwargs["fault_seed"] = args.fault_seed
+            if args.no_fallback:
+                pool_kwargs["session_kwargs"] = {"kernel_fallback": False}
+            service = InferenceService(
+                args.model, worker_mode="process",
+                **service_kwargs, **pool_kwargs)
+        else:
+            pool_kwargs = _serve_pool_kwargs(args)
+            if args.inject_faults:
+                pool_kwargs["fault_specs"] = {
+                    args.backends[0]: args.inject_faults}
+                pool_kwargs["fault_seed"] = args.fault_seed
+            if args.no_fallback:
+                pool_kwargs["session_kwargs"] = {"kernel_fallback": False}
+            service = InferenceService(
+                pool=SessionPool(args.model, **pool_kwargs),
+                **service_kwargs)
+        pool = service.pool
+        # Readiness marker on stderr (stdout stays pure for --json): a
+        # process supervisor can wait for this before sending traffic —
+        # or signals, whose graceful handling starts here.
+        print(f"serving {args.model}: {args.workers} {args.worker_mode} "
+              f"worker(s) ready", file=sys.stderr, flush=True)
+        report = run_load(
+            service, rps=args.rps, duration_s=args.duration,
+            clients=args.clients, deadline_ms=args.deadline_ms,
+            seed=args.seed)
+        robustness = service.robustness_report()
+        health = service.health()
+        service.close()
     except OrpheusError as exc:
+        if service is not None:
+            service.close(drain=False)
         return _serve_error(exc, args.json)
+    except _GracefulSignal as sig:
+        if service is None:
+            return EXIT_DEGRADED
+        return _drain_on_signal(service, sig, args.json)
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal_mod.signal(signum, handler)
     healthy = report.completed > 0 and report.silent_drops == 0
     if args.json:
         print(json.dumps({
@@ -699,6 +817,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if healthy else EXIT_DEGRADED
 
 
+def _cmd_serve_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.regression import format_chaos_bench, save_chaos_bench
+    from repro.errors import OrpheusError
+    from repro.serve import run_chaos_bench
+
+    try:
+        document = run_chaos_bench(
+            model=args.model, workers=args.workers, kill=args.kill,
+            batch=args.batch, image_size=args.image_size,
+            duration_s=args.duration, clients=args.clients,
+            deadline_ms=args.deadline_ms, rps=args.rps,
+            engine_cache=args.engine_cache, seed=args.seed,
+            recovery_window_s=args.recovery_window_s,
+            progress=None if args.json else lambda m: print(f"  .. {m}"))
+    except (OrpheusError, ValueError) as exc:
+        return _serve_error(exc, args.json)
+    if args.json:
+        print(json.dumps(document, sort_keys=True))
+    else:
+        print(format_chaos_bench(document))
+    if args.save:
+        save_chaos_bench(args.save, document)
+        if not args.json:
+            print(f"wrote {args.save}")
+    return 0 if document["passed"] else EXIT_DEGRADED
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -706,6 +853,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.errors import OrpheusError
     from repro.serve import run_serve_bench
 
+    if args.worker_mode == "process":
+        print("error: serve-bench measures the threaded pool; use "
+              "serve-chaos for the process-worker battery", file=sys.stderr)
+        return 2
     try:
         document = run_serve_bench(
             model=args.model, backends=tuple(args.backends),
@@ -843,6 +994,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "serve": _cmd_serve,
     "serve-bench": _cmd_serve_bench,
+    "serve-chaos": _cmd_serve_chaos,
     "bench": _cmd_bench,
 }
 

@@ -301,7 +301,7 @@ class EngineCache:
             # Only keyed when tuning so pre-existing untuned digests (and
             # their cached files) stay valid.
             **({"tune": True} if tune else {}))
-        if entry.exists:
+        def try_load(warn: bool) -> Any:
             reason = None
             try:
                 engine = load_engine(entry.path)
@@ -312,18 +312,36 @@ class EngineCache:
                     engine.fingerprint, backend_obj, threads, optimize,
                     source_digest=graph_digest(graph))
                 if reason is None:
-                    return engine, True
-            warnings.warn(EngineFallbackWarning(entry.path, reason))
-        engine = compile_graph(
-            graph, backend=backend_obj, threads=threads, optimize=optimize,
-            tune=tune, tune_repeats=tune_repeats,
-            autotune_cache=autotune_cache,
-            metadata={"model": model, "cache_key": entry.key})
+                    return engine
+            if warn:
+                warnings.warn(EngineFallbackWarning(entry.path, reason))
+            return None
+
+        if entry.exists:
+            engine = try_load(warn=True)
+            if engine is not None:
+                return engine, True
+        # Miss: compile under a cross-process lock so N process workers
+        # warm-starting against one cache directory compile the artifact
+        # once pool-wide instead of N times concurrently. Generous bounds
+        # — a real compile can take a while, and on lock timeout we
+        # degrade to a redundant compile, never to a stall or an error.
         self.prepare_dir()
-        try:
-            save_engine(engine, entry.path)
-        except (OSError, EngineError):
-            pass  # a failed save must not break the caller
+        with _FileLock(entry.path, timeout_s=120.0, stale_s=600.0):
+            if entry.exists:
+                # Another process compiled it while we waited for the lock.
+                engine = try_load(warn=False)
+                if engine is not None:
+                    return engine, True
+            engine = compile_graph(
+                graph, backend=backend_obj, threads=threads,
+                optimize=optimize, tune=tune, tune_repeats=tune_repeats,
+                autotune_cache=autotune_cache,
+                metadata={"model": model, "cache_key": entry.key})
+            try:
+                save_engine(engine, entry.path)
+            except (OSError, EngineError):
+                pass  # a failed save must not break the caller
         return engine, False
 
     def session(

@@ -160,6 +160,59 @@ class InjectedFaultError(ExecutionError):
     """
 
 
+class WorkerProtocolError(OrpheusError):
+    """A supervisor/worker pipe frame is malformed, oversized, or truncated.
+
+    Raised by :mod:`repro.serve.protocol` when a length prefix exceeds the
+    frame cap, a header is not valid JSON, or the stream ends mid-frame.
+    The supervisor treats it like a worker crash: the worker is killed and
+    restarted, and its in-flight request fails structurally.
+    """
+
+
+class WorkerCrashError(OrpheusError):
+    """A process worker died (exit, kill, OOM, lost heartbeat) mid-request.
+
+    The request that was in flight is failed *structurally* with this
+    error — never silently dropped — while the supervisor restarts the
+    worker with backoff. Attributes:
+
+        worker: pool index of the worker that died.
+        reason: machine-readable cause (``"exited"``, ``"signaled"``,
+            ``"heartbeat-lost"``, ``"request-timeout"``, ``"restarting"``,
+            ``"disabled"``, ...).
+        exit_code: the process return code when one exists.
+    """
+
+    def __init__(self, message: str, *, worker: int = -1,
+                 reason: str = "exited",
+                 exit_code: int | None = None) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.reason = reason
+        self.exit_code = exit_code
+
+
+class PoisonRequestError(OrpheusError):
+    """A request is quarantined: it already killed too many workers.
+
+    A request whose worker dies is retried at most
+    ``quarantine_threshold`` times; past that the supervisor refuses to
+    dispatch it again (cycling the pool forever is the alternative). The
+    service converts this into a structured ``Rejected`` with reason
+    ``"quarantined"``.
+
+    Attributes:
+        request_ids: the quarantined request id(s) that were refused.
+    """
+
+    def __init__(self, request_ids: tuple[str, ...]) -> None:
+        ids = ", ".join(sorted(request_ids))
+        super().__init__(
+            f"request(s) quarantined after repeatedly killing workers: {ids}")
+        self.request_ids = tuple(request_ids)
+
+
 class FrameworkUnavailableError(OrpheusError):
     """A (simulated) third-party framework cannot run the requested workload.
 

@@ -19,12 +19,28 @@ Modes:
 * ``slowdown`` — the kernel runs after a deliberate sleep (exercises
   timing robustness without changing numerics).
 
+Process-level modes (consumed by :mod:`repro.serve.worker`, *never* by
+the in-process executor — :meth:`FaultPlan.draw` skips them so a plan
+shared with a session cannot take the host process down):
+
+* ``crash`` — the worker process hard-exits mid-request (simulates a
+  segfaulting kernel; exercises crash containment and restart).
+* ``hang`` — the worker stops heartbeating and blocks forever (exercises
+  heartbeat-loss detection and the per-request deadline).
+* ``oom`` — the worker allocates, then exits with the OOM-killer's code
+  137 (exercises the same containment under a distinguishable cause).
+
+For process modes the ``node=`` pattern matches *request ids* instead of
+graph nodes, so chaos scenarios can target a specific poison request
+(``crash:node=poison-*``).
+
 Plans are built programmatically (:class:`FaultSpec`) or parsed from the
 CLI spec mini-language (:func:`parse_fault_plan`)::
 
     raise:op=Conv:attempt=0            # primary Conv kernel always raises
     nan:node=conv1*:p=0.5:seed=7       # half of conv1* invocations, seeded
     raise:impl=winograd;slowdown:op=Gemm:ms=2
+    crash:node=poison-*                # worker dies on matching request ids
 """
 
 from __future__ import annotations
@@ -37,7 +53,9 @@ import numpy as np
 
 from repro.ir.node import Node
 
-MODES = ("raise", "nan", "corrupt-shape", "slowdown")
+KERNEL_MODES = ("raise", "nan", "corrupt-shape", "slowdown")
+PROCESS_MODES = ("crash", "hang", "oom")
+MODES = KERNEL_MODES + PROCESS_MODES
 
 
 @dataclasses.dataclass(frozen=True)
@@ -81,6 +99,8 @@ class FaultSpec:
 
     def matches(self, node: Node, impl_name: str, attempt: int) -> bool:
         """Does this rule target the given kernel invocation?"""
+        if self.mode in PROCESS_MODES:
+            return False  # process faults never fire inside the executor
         if self.op_type is not None and node.op_type != self.op_type:
             return False
         if self.node is not None and not fnmatch.fnmatchcase(node.name, self.node):
@@ -145,6 +165,43 @@ class FaultPlan:
                 impl=impl_name, attempt=attempt))
             return spec
         return None
+
+    def draw_process(self, request_ids: Sequence[str]) -> FaultSpec | None:
+        """Decide whether a *process-level* fault fires for this request.
+
+        Only specs with a mode in :data:`PROCESS_MODES` are considered;
+        their ``node`` pattern (when set) matches against the request ids
+        in the batch rather than graph nodes. Probability draws come from
+        the same seeded generator as kernel faults, and ``max_triggers``
+        counts per plan instance — i.e. per worker incarnation, since a
+        restarted worker parses a fresh plan.
+        """
+        for index, spec in enumerate(self.specs):
+            if spec.mode not in PROCESS_MODES:
+                continue
+            matched = None
+            if spec.node is not None:
+                for rid in request_ids:
+                    if fnmatch.fnmatchcase(rid, spec.node):
+                        matched = rid
+                        break
+                if matched is None:
+                    continue
+            if (spec.max_triggers is not None
+                    and self._trigger_counts[index] >= spec.max_triggers):
+                continue
+            if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                continue
+            self._trigger_counts[index] += 1
+            self.events.append(InjectedFault(
+                mode=spec.mode,
+                node_name=matched if matched is not None else "<any>",
+                op_type="<process>", impl="<worker>", attempt=0))
+            return spec
+        return None
+
+    def has_process_specs(self) -> bool:
+        return any(spec.mode in PROCESS_MODES for spec in self.specs)
 
     def __repr__(self) -> str:
         return (f"FaultPlan({len(self.specs)} spec(s), seed={self.seed}, "

@@ -11,11 +11,17 @@ service that degrades gracefully under load and under backend failure:
 * :class:`CircuitBreaker` — per-backend trip/half-open/recover routing.
 * :class:`InferenceService` — dispatcher tying it together: dynamic
   batching, backend-chain rerouting, graceful drain, health/stats.
-* :func:`run_load` / :func:`run_serve_bench` — the open-loop load
-  harness and the scenario family behind ``BENCH_serve.json``.
+* :class:`WorkerSupervisor` / :class:`ProcessWorkerPool` — the
+  ``worker_mode="process"`` serving path: each pool slot is a separate
+  OS process with heartbeats, restart backoff, and poison-request
+  quarantine (crash containment).
+* :func:`run_load` / :func:`run_serve_bench` / :func:`run_chaos_bench`
+  — the open-loop load harness and the scenario families behind
+  ``BENCH_serve.json`` and ``BENCH_chaos.json``.
 """
 
 from repro.serve.breaker import BreakerSnapshot, CircuitBreaker
+from repro.serve.chaos import run_chaos_bench
 from repro.serve.loadgen import LoadReport, run_load
 from repro.serve.pool import PoolRobustnessReport, SessionPool
 from repro.serve.queue import AdmissionQueue
@@ -24,6 +30,11 @@ from repro.serve.service import (
     InferenceService,
     ServeRobustnessReport,
     ServiceStats,
+)
+from repro.serve.supervisor import (
+    ProcessWorkerPool,
+    SupervisorStats,
+    WorkerSupervisor,
 )
 from repro.serve.types import (
     SHED_REASONS,
@@ -45,11 +56,15 @@ __all__ = [
     "LoadReport",
     "PendingResponse",
     "PoolRobustnessReport",
+    "ProcessWorkerPool",
     "Rejected",
     "ServeRequest",
     "ServeRobustnessReport",
     "ServiceStats",
     "SessionPool",
+    "SupervisorStats",
+    "WorkerSupervisor",
+    "run_chaos_bench",
     "run_load",
     "run_serve_bench",
 ]

@@ -126,6 +126,17 @@ class SessionPool:
                     for index in range(workers)
                 ]
             return
+        if model == "@loopback":
+            # Diagnostic model (see repro.serve.loopback): serving-layer
+            # behaviour without paying for a real graph build.
+            from repro.serve.loopback import LoopbackSession
+
+            for backend in self.backends:
+                self._sessions[backend] = [
+                    LoopbackSession(backend=backend, batch=batch)
+                    for _ in range(workers)
+                ]
+            return
         self._build(model, threads=threads, batch=batch,
                     image_size=image_size, seed=seed, optimize=optimize,
                     engine_cache=engine_cache, autotune_cache=autotune_cache,

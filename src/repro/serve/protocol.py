@@ -1,0 +1,168 @@
+"""Length-prefixed frame protocol between the supervisor and its workers.
+
+Process workers talk to the :class:`~repro.serve.supervisor.WorkerSupervisor`
+over plain pipes (the worker's stdin/stdout), so the wire format has to be
+self-delimiting and corruption-evident. Each frame is::
+
+    !I total_len | !I header_len | header (UTF-8 JSON) | blob (raw bytes)
+
+``total_len`` covers everything after itself. The header is a small JSON
+object whose ``kind`` field names the message (``hello``, ``run``, ``ok``,
+``err``, ``beat``, ``shutdown``, ``bye``); the blob carries tensor bytes
+described by the header's ``arrays`` metadata. Caps and exact-read loops
+turn a truncated or garbage stream into a structured
+:class:`~repro.errors.WorkerProtocolError` instead of a hang or an
+unbounded allocation — a crashed worker must never corrupt the
+supervisor.
+
+Arrays cross the pipe as raw C-order bytes plus ``(name, dtype, shape)``
+metadata — no pickling, so a worker can be rebuilt from any interpreter
+that shares the numpy ABI and a hostile peer cannot execute code via the
+frame stream.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, BinaryIO
+
+import numpy as np
+
+from repro.errors import WorkerProtocolError
+
+#: Hard cap on one frame; a serving batch is a few MiB of activations, so
+#: anything near this is corruption, not load.
+MAX_FRAME_BYTES = 256 << 20
+
+#: Header JSON is counters and shape metadata — kilobytes at most.
+MAX_HEADER_BYTES = 1 << 20
+
+_LEN = struct.Struct("!I")
+
+
+def _read_exact(stream: BinaryIO, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; ``None`` on clean EOF at a boundary.
+
+    EOF *inside* a frame is corruption (the peer died mid-write) and
+    raises; EOF before any byte of the request is the normal end of
+    stream.
+    """
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise WorkerProtocolError(
+                f"stream ended {remaining} byte(s) short of a "
+                f"{count}-byte read")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def write_frame(stream: BinaryIO, header: dict[str, Any],
+                blob: bytes = b"") -> None:
+    """Serialize one frame and flush it.
+
+    The caller owns write-side locking — workers interleave heartbeats
+    and responses from two threads, and a torn frame is unrecoverable.
+    """
+    head = json.dumps(header, separators=(",", ":"),
+                      sort_keys=True).encode("utf-8")
+    if len(head) > MAX_HEADER_BYTES:
+        raise WorkerProtocolError(
+            f"header of {len(head)} bytes exceeds cap {MAX_HEADER_BYTES}")
+    total = _LEN.size + len(head) + len(blob)
+    if total > MAX_FRAME_BYTES:
+        raise WorkerProtocolError(
+            f"frame of {total} bytes exceeds cap {MAX_FRAME_BYTES}")
+    stream.write(_LEN.pack(total) + _LEN.pack(len(head)) + head + blob)
+    stream.flush()
+
+
+def read_frame(stream: BinaryIO) -> tuple[dict[str, Any], bytes] | None:
+    """Read one frame; ``None`` on clean EOF.
+
+    Raises:
+        WorkerProtocolError: truncated stream, oversized lengths,
+            non-JSON or non-object header.
+    """
+    prefix = _read_exact(stream, _LEN.size)
+    if prefix is None:
+        return None
+    (total,) = _LEN.unpack(prefix)
+    if not _LEN.size <= total <= MAX_FRAME_BYTES:
+        raise WorkerProtocolError(
+            f"frame length {total} outside [{_LEN.size}, {MAX_FRAME_BYTES}]")
+    payload = _read_exact(stream, total)
+    if payload is None:
+        raise WorkerProtocolError("stream ended before frame payload")
+    (head_len,) = _LEN.unpack(payload[:_LEN.size])
+    if head_len > total - _LEN.size or head_len > MAX_HEADER_BYTES:
+        raise WorkerProtocolError(
+            f"header length {head_len} exceeds frame payload or cap")
+    head = payload[_LEN.size:_LEN.size + head_len]
+    try:
+        header = json.loads(head.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise WorkerProtocolError(f"frame header is not JSON: {exc}") from None
+    if not isinstance(header, dict):
+        raise WorkerProtocolError(
+            f"frame header must be an object, got {type(header).__name__}")
+    return header, payload[_LEN.size + head_len:]
+
+
+# -- tensor payloads -----------------------------------------------------------
+
+
+def pack_arrays(arrays: dict[str, np.ndarray]) -> tuple[list[dict], bytes]:
+    """``(metadata, blob)`` for a dict of arrays, concatenated in order."""
+    meta: list[dict] = []
+    parts: list[bytes] = []
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        meta.append({
+            "name": name,
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+        })
+        parts.append(array.tobytes())
+    return meta, b"".join(parts)
+
+
+def unpack_arrays(meta: list[dict], blob: bytes) -> dict[str, np.ndarray]:
+    """Rebuild the array dict from :func:`pack_arrays` output.
+
+    Sizes are recomputed from the metadata and checked against the blob,
+    so a corrupt length cannot read past the buffer or alias frames.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    offset = 0
+    for entry in meta:
+        try:
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(int(dim) for dim in entry["shape"])
+            name = entry["name"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WorkerProtocolError(
+                f"bad array metadata {entry!r}: {exc}") from None
+        if any(dim < 0 for dim in shape):
+            raise WorkerProtocolError(f"negative dim in shape {shape}")
+        count = 1
+        for dim in shape:
+            count *= dim
+        nbytes = count * dtype.itemsize
+        if offset + nbytes > len(blob):
+            raise WorkerProtocolError(
+                f"array {name!r} needs {nbytes} bytes at offset {offset}, "
+                f"blob holds {len(blob)}")
+        arrays[name] = np.frombuffer(
+            blob, dtype=dtype, count=count, offset=offset).reshape(shape)
+        offset += nbytes
+    if offset != len(blob):
+        raise WorkerProtocolError(
+            f"{len(blob) - offset} trailing byte(s) after arrays")
+    return arrays

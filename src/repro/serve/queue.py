@@ -26,6 +26,7 @@ batched execution without adding more than the window to anyone's latency.
 from __future__ import annotations
 
 import collections
+import random
 import threading
 import time
 
@@ -33,7 +34,14 @@ from repro.serve.types import PendingResponse, Rejected
 
 
 class AdmissionQueue:
-    """Thread-safe bounded FIFO of :class:`PendingResponse` with admission."""
+    """Thread-safe bounded FIFO of :class:`PendingResponse` with admission.
+
+    ``retry_jitter_frac`` spreads ``retry_after_s`` hints by a bounded
+    random factor in ``[1, 1 + frac]`` so that a burst of simultaneous
+    rejections does not come back as a synchronized retry stampede. The
+    jitter stream is seeded (``jitter_seed``) so tests and benchmarks see
+    a deterministic sequence of hints.
+    """
 
     def __init__(
         self,
@@ -42,9 +50,14 @@ class AdmissionQueue:
         batch: int = 1,
         ewma_alpha: float = 0.2,
         initial_service_s: float = 0.05,
+        retry_jitter_frac: float = 0.25,
+        jitter_seed: int = 0,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 <= retry_jitter_frac <= 1.0:
+            raise ValueError(
+                f"retry_jitter_frac must be in [0, 1], got {retry_jitter_frac}")
         self.capacity = capacity
         self.workers = max(1, workers)
         self.batch = max(1, batch)
@@ -52,11 +65,17 @@ class AdmissionQueue:
         # EWMA of one *batch* execution's wall time; seeded with a guess
         # that the first few observations quickly wash out.
         self._ewma_batch_s = initial_service_s
+        self._observations = 0
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._items: collections.deque[PendingResponse] = collections.deque()
         self._closed = False
         self.sheds: dict[str, int] = {}
+        self._jitter_frac = retry_jitter_frac
+        # shed() is called both under self._lock (try_admit) and lock-free
+        # from dispatcher threads, so the jitter RNG gets its own lock.
+        self._jitter_lock = threading.Lock()
+        self._jitter_rng = random.Random(jitter_seed)
 
     # -- admission -------------------------------------------------------------
 
@@ -123,6 +142,10 @@ class AdmissionQueue:
         thread.
         """
         self.sheds[reason] = self.sheds.get(reason, 0) + 1
+        if retry_after_s is not None and self._jitter_frac > 0.0:
+            with self._jitter_lock:
+                retry_after_s *= 1.0 + self._jitter_frac \
+                    * self._jitter_rng.random()
         return Rejected(id=request_id, reason=reason,
                         retry_after_s=retry_after_s, message=message)
 
@@ -159,9 +182,25 @@ class AdmissionQueue:
     # -- bookkeeping -----------------------------------------------------------
 
     def observe_batch(self, seconds: float) -> None:
-        """Feed one batch execution's wall time into the EWMA."""
+        """Feed one batch execution's wall time into the EWMA.
+
+        Non-finite or negative durations are discarded: a clock that
+        steps backwards between two ``perf_counter`` reads (VM suspend,
+        NTP on a broken monotonic source) must not poison the estimate
+        that admission control steers by.
+        """
+        if not (seconds == seconds) or seconds in (
+                float("inf"), float("-inf")) or seconds < 0.0:
+            return
         with self._lock:
             self._ewma_batch_s += self._alpha * (seconds - self._ewma_batch_s)
+            self._observations += 1
+
+    @property
+    def observations(self) -> int:
+        """How many batch timings have actually fed the EWMA."""
+        with self._lock:
+            return self._observations
 
     @property
     def ewma_batch_s(self) -> float:

@@ -29,7 +29,11 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import DeadlineExceededError, OrpheusError
+from repro.errors import (
+    DeadlineExceededError,
+    OrpheusError,
+    PoisonRequestError,
+)
 from repro.serve.breaker import BreakerSnapshot, CircuitBreaker
 from repro.serve.pool import PoolRobustnessReport, SessionPool
 from repro.serve.queue import AdmissionQueue
@@ -83,7 +87,8 @@ class ServiceStats:
         """Admitted requests not yet resolved (queued + in flight)."""
         return self.accepted - self.completed - self.failed - sum(
             self.rejected.get(reason, 0)
-            for reason in ("expired-in-queue", "breaker-open", "stopped"))
+            for reason in ("expired-in-queue", "breaker-open", "stopped",
+                           "quarantined"))
 
     def to_dict(self) -> dict:
         document = dataclasses.asdict(self)
@@ -130,6 +135,14 @@ class InferenceService:
     service as a context manager (or call :meth:`close`) to drain.
 
     Args:
+        worker_mode: ``"thread"`` (default) serves from an in-process
+            :class:`SessionPool`; ``"process"`` builds a
+            :class:`~repro.serve.supervisor.WorkerSupervisor` instead and
+            serves every slot from a separate OS process — crash
+            containment, heartbeats, restart backoff, and poison-request
+            quarantine, at the cost of per-request pipe copies. The
+            dispatchers, breakers, and admission queue are identical in
+            both modes.
         queue_capacity: bound on queued requests; arrivals beyond it are
             shed ``queue-full``.
         batch_window_ms: how long the dispatcher waits to coalesce a
@@ -138,6 +151,8 @@ class InferenceService:
             without one (``None`` = unbounded).
         breaker_threshold / breaker_cooldown_s: circuit-breaker tuning,
             per backend.
+        retry_jitter_frac / jitter_seed: bounded, seeded jitter applied
+            to ``retry_after`` hints (see :class:`AdmissionQueue`).
     """
 
     def __init__(
@@ -145,22 +160,43 @@ class InferenceService:
         model: Any = None,
         *,
         pool: SessionPool | None = None,
+        worker_mode: str = "thread",
         queue_capacity: int = 64,
         batch_window_ms: float = 2.0,
         default_deadline_ms: float | None = None,
         breaker_threshold: int = 3,
         breaker_cooldown_s: float = 1.0,
+        retry_jitter_frac: float = 0.25,
+        jitter_seed: int = 0,
         **pool_kwargs: Any,
     ) -> None:
         if (model is None) == (pool is None):
             raise ValueError("pass exactly one of `model` or `pool=`")
-        self.pool = pool if pool is not None else SessionPool(
-            model, **pool_kwargs)
+        if worker_mode not in ("thread", "process"):
+            raise ValueError(
+                f"worker_mode must be 'thread' or 'process', got "
+                f"{worker_mode!r}")
+        self._owns_pool = pool is None
+        if pool is not None:
+            self.pool = pool
+        elif worker_mode == "process":
+            from repro.serve.supervisor import (
+                ProcessWorkerPool,
+                WorkerSupervisor,
+            )
+
+            self.pool = ProcessWorkerPool(
+                WorkerSupervisor(model, **pool_kwargs))
+        else:
+            self.pool = SessionPool(model, **pool_kwargs)
+        self.worker_mode = worker_mode if pool is None else (
+            "process" if hasattr(self.pool, "supervisor") else "thread")
         self.batch_window_ms = batch_window_ms
         self.default_deadline_ms = default_deadline_ms
         self.queue = AdmissionQueue(
             capacity=queue_capacity, workers=self.pool.workers,
-            batch=self.pool.batch)
+            batch=self.pool.batch, retry_jitter_frac=retry_jitter_frac,
+            jitter_seed=jitter_seed)
         self.breakers = {
             name: CircuitBreaker(name, failure_threshold=breaker_threshold,
                                  cooldown_s=breaker_cooldown_s)
@@ -195,6 +231,9 @@ class InferenceService:
             thread.start()
 
     def _infer_sample_shape(self) -> tuple[int, ...] | None:
+        shape = getattr(self.pool, "sample_shape", None)
+        if shape is not None:
+            return tuple(shape)  # process pool: reported in the hello
         session = self.pool.session(self.pool.backends[0], 0)
         graph = getattr(session, "graph", None)
         if graph is None:
@@ -271,10 +310,51 @@ class InferenceService:
                     self._expired += 1
                 continue
             live.append(pending)
-        if not live:
-            return
+        # A batch may carry a poison request (process mode): shed the
+        # quarantined members up front, and when quarantine is discovered
+        # mid-dispatch (PoisonRequestError), shed those and re-dispatch
+        # the innocent remainder. Each pass removes at least one request,
+        # so this terminates.
+        while live:
+            live = self._shed_quarantined(live)
+            if not live:
+                return
+            live = self._dispatch_once(worker, live)
+
+    def _shed_quarantined(
+        self, live: list[PendingResponse],
+        poisoned: "set[str] | None" = None,
+    ) -> list[PendingResponse]:
+        """Resolve quarantined members of ``live``; return the innocents."""
+        if poisoned is None:
+            quarantined = getattr(self.pool, "quarantined", None)
+            if quarantined is None:
+                return live
+            poisoned = quarantined([p.request.id for p in live])
+        if not poisoned:
+            return live
+        keep: list[PendingResponse] = []
+        for pending in live:
+            if pending.request.id in poisoned:
+                pending.resolve(self.queue.shed(
+                    pending.request.id, "quarantined", None,
+                    "poison request: repeatedly killed its worker"))
+            else:
+                keep.append(pending)
+        return keep
+
+    def _dispatch_once(
+        self, worker: int, live: list[PendingResponse],
+    ) -> list[PendingResponse]:
+        """Walk the backend chain once for ``live``.
+
+        Returns the (possibly empty) list of requests that still need a
+        dispatch — non-empty only when a poison request was quarantined
+        mid-run and innocents from its batch deserve a fresh attempt.
+        """
         feeds, count = self._assemble(live)
         run_deadline = self._run_deadline_ms(live)
+        request_ids = tuple(p.request.id for p in live)
         failure: Failed | None = None
         for position, backend in enumerate(self.pool.backends):
             breaker = self.breakers[backend]
@@ -283,7 +363,16 @@ class InferenceService:
             session = self.pool.session(backend, worker)
             started = time.perf_counter()
             try:
-                outputs = session.run(feeds, deadline_ms=run_deadline)
+                if getattr(session, "accepts_request_ids", False):
+                    outputs = session.run(
+                        feeds, deadline_ms=run_deadline,
+                        request_ids=request_ids)
+                else:
+                    outputs = session.run(feeds, deadline_ms=run_deadline)
+            except PoisonRequestError as exc:
+                # Not a backend failure: the batch contains a known-bad
+                # request. No breaker penalty; retry the innocents.
+                return self._shed_quarantined(live, set(exc.request_ids))
             except DeadlineExceededError as exc:
                 breaker.record_failure()
                 failure = Failed(id="", error_type=type(exc).__name__,
@@ -304,7 +393,7 @@ class InferenceService:
                 self._per_backend[backend] += count
                 if position > 0:
                     self._reroutes += 1
-            return
+            return []
         # No backend served the batch: every breaker was open, or every
         # allowed backend failed. Either way the outcome is structured.
         if failure is None:
@@ -322,6 +411,7 @@ class InferenceService:
                     failure, id=pending.request.id))
             with self._lock:
                 self._failed += len(live)
+        return []
 
     def _assemble(self, live: list[PendingResponse]) -> tuple[dict, int]:
         samples = np.stack([p.request.sample for p in live])
@@ -412,6 +502,10 @@ class InferenceService:
                 "service shut down before dispatch"))
         for thread in self._threads:
             thread.join(timeout=5.0)
+        if self._owns_pool:
+            close_pool = getattr(self.pool, "close", None)
+            if close_pool is not None:
+                close_pool()  # process mode: shut the supervisor down
         with self._lock:
             self._stopped = True
             self._draining = True
@@ -462,6 +556,9 @@ class InferenceService:
     def health(self) -> dict:
         """JSON-ready health document for the CLI and the smoke job."""
         stats = self.stats()
+        supervisor = getattr(self.pool, "supervisor", None)
+        supervisor_stats = supervisor.stats() if supervisor is not None \
+            else None
         status = "ok"
         if stats.stopped:
             status = "stopped"
@@ -469,11 +566,18 @@ class InferenceService:
             status = "draining"
         elif any(b.state != "closed" for b in stats.breakers):
             status = "degraded"
-        return {
+        elif supervisor_stats is not None and \
+                supervisor_stats.alive < supervisor_stats.workers:
+            status = "degraded"
+        document = {
             "status": status,
             "model": self.pool.model_name,
             "backends": list(self.pool.backends),
             "workers": self.pool.workers,
+            "worker_mode": self.worker_mode,
             "max_batch": self.pool.batch,
             "stats": stats.to_dict(),
         }
+        if supervisor_stats is not None:
+            document["supervisor"] = supervisor_stats.to_dict()
+        return document

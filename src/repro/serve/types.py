@@ -24,6 +24,7 @@ SHED_REASONS = (
     "expired-in-queue",  # deadline passed before the dispatcher got to it
     "draining",          # graceful shutdown: in-flight finishes, new rejected
     "stopped",           # service already shut down
+    "quarantined",       # poison request: killed its worker twice already
 )
 
 

@@ -8,6 +8,7 @@ from repro.config import RuntimeConfig
 from repro.errors import FallbackExhaustedError
 from repro.runtime.executor import Executor
 from repro.runtime.faults import (
+    PROCESS_MODES,
     FaultPlan,
     FaultSpec,
     corrupt_shape,
@@ -164,6 +165,63 @@ class TestModes:
     def test_corrupt_shape_helper(self):
         arrays = [np.ones((2, 3), dtype=np.float32)]
         assert corrupt_shape(arrays)[0].shape == (1, 2, 3)
+
+
+class TestProcessModes:
+    def test_process_modes_never_match_kernel_invocations(self):
+        from repro.ir.node import Node
+        node = Node("Conv", ["x", "w"], ["y"], name="poison-1")
+        for mode in PROCESS_MODES:
+            spec = FaultSpec(mode=mode, node="poison-*")
+            assert not spec.matches(node, "im2col", 0)
+
+    def test_executor_never_fires_process_faults(self, rng):
+        # A shared plan must not be able to take the host process down:
+        # draw() (the executor's entry point) skips process modes even
+        # when the pattern matches every node.
+        plan = parse_fault_plan("crash:node=*;hang:node=*;oom:node=*")
+        _, outputs = run_once(rng, fault_plan=plan)
+        assert plan.events == []
+        assert outputs
+
+    def test_draw_process_matches_request_ids(self):
+        plan = parse_fault_plan("crash:node=poison-*")
+        assert plan.draw_process(["ok-1", "ok-2"]) is None
+        spec = plan.draw_process(["ok-1", "poison-7"])
+        assert spec is not None and spec.mode == "crash"
+        (event,) = plan.events
+        assert event.node_name == "poison-7"
+        assert event.op_type == "<process>"
+
+    def test_draw_process_without_pattern_matches_any_request(self):
+        plan = FaultPlan([FaultSpec(mode="hang")], seed=0)
+        spec = plan.draw_process([])
+        assert spec is not None and spec.mode == "hang"
+
+    def test_draw_process_respects_max_triggers(self):
+        plan = parse_fault_plan("hang:node=hang-*:max=1")
+        assert plan.draw_process(["hang-1"]) is not None
+        assert plan.draw_process(["hang-1"]) is None
+        plan.reset()
+        assert plan.draw_process(["hang-1"]) is not None
+
+    def test_draw_process_skips_kernel_specs(self):
+        plan = parse_fault_plan("raise:node=poison-*")
+        assert plan.draw_process(["poison-1"]) is None
+
+    def test_draw_process_probability_is_seeded(self):
+        def fires(seed):
+            plan = parse_fault_plan("crash:node=r-*:p=0.5", seed=seed)
+            return [plan.draw_process([f"r-{i}"]) is not None
+                    for i in range(16)]
+        assert fires(3) == fires(3)
+        assert any(fires(3)) and not all(fires(3))
+
+    def test_has_process_specs(self):
+        assert parse_fault_plan("crash:node=x-*").has_process_specs()
+        assert not parse_fault_plan("raise:op=Conv").has_process_specs()
+        assert parse_fault_plan(
+            "raise:op=Conv;oom:node=big-*").has_process_specs()
 
 
 class TestOrganicNumerics:

@@ -1,0 +1,148 @@
+"""Frame protocol tests: round-trips, truncation, corruption, caps."""
+
+import io
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkerProtocolError
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    MAX_HEADER_BYTES,
+    pack_arrays,
+    read_frame,
+    unpack_arrays,
+    write_frame,
+)
+
+
+def roundtrip(header, blob=b""):
+    stream = io.BytesIO()
+    write_frame(stream, header, blob)
+    stream.seek(0)
+    return read_frame(stream)
+
+
+class TestFrames:
+    def test_roundtrip_header_only(self):
+        header, blob = roundtrip({"kind": "beat", "worker": 3})
+        assert header == {"kind": "beat", "worker": 3}
+        assert blob == b""
+
+    def test_roundtrip_with_blob(self):
+        payload = bytes(range(256))
+        header, blob = roundtrip({"kind": "run", "seq": 1}, payload)
+        assert header["seq"] == 1
+        assert blob == payload
+
+    def test_multiple_frames_then_clean_eof(self):
+        stream = io.BytesIO()
+        write_frame(stream, {"kind": "a"})
+        write_frame(stream, {"kind": "b"}, b"xy")
+        stream.seek(0)
+        assert read_frame(stream)[0]["kind"] == "a"
+        assert read_frame(stream) == ({"kind": "b"}, b"xy")
+        assert read_frame(stream) is None
+
+    def test_eof_mid_frame_raises(self):
+        stream = io.BytesIO()
+        write_frame(stream, {"kind": "run"}, b"payload")
+        data = stream.getvalue()
+        truncated = io.BytesIO(data[:-3])
+        with pytest.raises(WorkerProtocolError, match="short"):
+            read_frame(truncated)
+
+    def test_eof_mid_length_prefix_raises(self):
+        with pytest.raises(WorkerProtocolError):
+            read_frame(io.BytesIO(b"\x00\x00"))
+
+    def test_oversized_total_length_rejected(self):
+        bogus = struct.pack("!I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(WorkerProtocolError, match="outside"):
+            read_frame(io.BytesIO(bogus))
+
+    def test_zero_total_length_rejected(self):
+        bogus = struct.pack("!I", 0)
+        with pytest.raises(WorkerProtocolError, match="outside"):
+            read_frame(io.BytesIO(bogus))
+
+    def test_header_length_beyond_payload_rejected(self):
+        # total says 8 payload bytes, header claims 100.
+        payload = struct.pack("!I", 100) + b"abcd"
+        data = struct.pack("!I", len(payload)) + payload
+        with pytest.raises(WorkerProtocolError, match="header length"):
+            read_frame(io.BytesIO(data))
+
+    def test_non_json_header_rejected(self):
+        head = b"not json"
+        payload = struct.pack("!I", len(head)) + head
+        data = struct.pack("!I", len(payload)) + payload
+        with pytest.raises(WorkerProtocolError, match="not JSON"):
+            read_frame(io.BytesIO(data))
+
+    def test_non_object_header_rejected(self):
+        head = b"[1,2]"
+        payload = struct.pack("!I", len(head)) + head
+        data = struct.pack("!I", len(payload)) + payload
+        with pytest.raises(WorkerProtocolError, match="object"):
+            read_frame(io.BytesIO(data))
+
+    def test_oversized_header_refused_on_write(self):
+        stream = io.BytesIO()
+        big = {"kind": "x", "pad": "a" * (MAX_HEADER_BYTES + 1)}
+        with pytest.raises(WorkerProtocolError, match="exceeds cap"):
+            write_frame(stream, big)
+        assert stream.getvalue() == b""
+
+
+class TestArrays:
+    def test_roundtrip_multiple_dtypes(self):
+        arrays = {
+            "x": np.arange(12, dtype=np.float32).reshape(3, 4),
+            "mask": np.array([1, 0, 1], dtype=np.int64),
+            "scalar": np.float64(3.5) * np.ones((), dtype=np.float64),
+        }
+        meta, blob = pack_arrays(arrays)
+        out = unpack_arrays(meta, blob)
+        assert set(out) == set(arrays)
+        for name in arrays:
+            np.testing.assert_array_equal(out[name], arrays[name])
+            assert out[name].dtype == arrays[name].dtype
+
+    def test_non_contiguous_input_packed_correctly(self):
+        base = np.arange(16, dtype=np.float32).reshape(4, 4)
+        view = base[:, ::2]  # non-contiguous
+        meta, blob = pack_arrays({"v": view})
+        out = unpack_arrays(meta, blob)
+        np.testing.assert_array_equal(out["v"], view)
+
+    def test_blob_too_short_rejected(self):
+        meta, blob = pack_arrays({"x": np.zeros(8, dtype=np.float32)})
+        with pytest.raises(WorkerProtocolError, match="needs"):
+            unpack_arrays(meta, blob[:-4])
+
+    def test_trailing_bytes_rejected(self):
+        meta, blob = pack_arrays({"x": np.zeros(4, dtype=np.float32)})
+        with pytest.raises(WorkerProtocolError, match="trailing"):
+            unpack_arrays(meta, blob + b"\x00\x00")
+
+    def test_negative_dim_rejected(self):
+        meta = [{"name": "x", "dtype": "<f4", "shape": [-1, 4]}]
+        with pytest.raises(WorkerProtocolError, match="negative"):
+            unpack_arrays(meta, b"")
+
+    def test_bad_dtype_rejected(self):
+        meta = [{"name": "x", "dtype": "not-a-dtype", "shape": [2]}]
+        with pytest.raises(WorkerProtocolError, match="metadata"):
+            unpack_arrays(meta, b"\x00" * 8)
+
+    def test_missing_metadata_key_rejected(self):
+        meta = [{"dtype": "<f4", "shape": [2]}]
+        with pytest.raises(WorkerProtocolError, match="metadata"):
+            unpack_arrays(meta, b"\x00" * 8)
+
+    def test_empty_arrays(self):
+        meta, blob = pack_arrays({})
+        assert meta == [] and blob == b""
+        assert unpack_arrays(meta, blob) == {}

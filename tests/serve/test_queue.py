@@ -120,6 +120,37 @@ class TestBookkeeping:
         # 8 queued / (2 workers * batch 2) = 2 batch-rounds ahead + own
         assert queue.estimated_wait_s() == pytest.approx(0.3)
 
+    def test_ewma_cold_start_uses_the_seed_estimate(self):
+        queue = AdmissionQueue(initial_service_s=0.07)
+        assert queue.observations == 0
+        assert queue.ewma_batch_s == pytest.approx(0.07)
+        assert queue.estimated_wait_s() == pytest.approx(0.07)
+
+    def test_ewma_single_sample(self):
+        queue = AdmissionQueue(ewma_alpha=0.2, initial_service_s=0.1)
+        queue.observe_batch(0.2)
+        assert queue.observations == 1
+        assert queue.ewma_batch_s == pytest.approx(0.1 + 0.2 * (0.2 - 0.1))
+
+    def test_ewma_ignores_clock_going_backwards(self):
+        # A perf_counter pair straddling a VM suspend can yield a negative
+        # duration; it must not poison the admission estimate.
+        queue = AdmissionQueue(ewma_alpha=0.5, initial_service_s=0.1)
+        queue.observe_batch(-1.0)
+        assert queue.observations == 0
+        assert queue.ewma_batch_s == pytest.approx(0.1)
+
+    def test_ewma_ignores_non_finite_durations(self):
+        queue = AdmissionQueue(ewma_alpha=0.5, initial_service_s=0.1)
+        queue.observe_batch(float("nan"))
+        queue.observe_batch(float("inf"))
+        queue.observe_batch(float("-inf"))
+        assert queue.observations == 0
+        assert queue.ewma_batch_s == pytest.approx(0.1)
+        queue.observe_batch(0.0)  # zero is a legal (very fast) duration
+        assert queue.observations == 1
+        assert queue.ewma_batch_s == pytest.approx(0.05)
+
     def test_close_returns_stranded_items(self):
         queue = AdmissionQueue(capacity=8)
         pendings = [make_pending(f"r{index}") for index in range(3)]
@@ -130,3 +161,46 @@ class TestBookkeeping:
         assert len(queue) == 0
         # closing wakes blocked take_batch calls with an empty batch
         assert queue.take_batch(4, window_ms=1.0, poll_s=0.01) == []
+
+
+class TestRetryJitter:
+    def test_retry_after_jitter_is_bounded(self):
+        queue = AdmissionQueue(retry_jitter_frac=0.25, jitter_seed=1)
+        base = 2.0
+        for _ in range(50):
+            rejection = queue.shed("r", "queue-full", base, "full")
+            assert base <= rejection.retry_after_s <= base * 1.25
+
+    def test_same_seed_same_hint_sequence(self):
+        queue_a = AdmissionQueue(retry_jitter_frac=0.5, jitter_seed=42)
+        queue_b = AdmissionQueue(retry_jitter_frac=0.5, jitter_seed=42)
+        seq_a = [queue_a.shed("r", "queue-full", 1.0, "x").retry_after_s
+                 for _ in range(10)]
+        seq_b = [queue_b.shed("r", "queue-full", 1.0, "x").retry_after_s
+                 for _ in range(10)]
+        assert seq_a == seq_b
+        assert len(set(seq_a)) > 1  # it actually jitters
+
+    def test_different_seed_different_sequence(self):
+        queue_a = AdmissionQueue(retry_jitter_frac=0.5, jitter_seed=1)
+        queue_b = AdmissionQueue(retry_jitter_frac=0.5, jitter_seed=2)
+        seq_a = [queue_a.shed("r", "queue-full", 1.0, "x").retry_after_s
+                 for _ in range(10)]
+        seq_b = [queue_b.shed("r", "queue-full", 1.0, "x").retry_after_s
+                 for _ in range(10)]
+        assert seq_a != seq_b
+
+    def test_zero_frac_disables_jitter(self):
+        queue = AdmissionQueue(retry_jitter_frac=0.0)
+        rejection = queue.shed("r", "queue-full", 3.0, "full")
+        assert rejection.retry_after_s == 3.0
+
+    def test_none_retry_hint_stays_none(self):
+        queue = AdmissionQueue(retry_jitter_frac=0.25)
+        assert queue.shed("r", "stopped", None, "bye").retry_after_s is None
+
+    def test_frac_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="retry_jitter_frac"):
+            AdmissionQueue(retry_jitter_frac=1.5)
+        with pytest.raises(ValueError, match="retry_jitter_frac"):
+            AdmissionQueue(retry_jitter_frac=-0.1)
