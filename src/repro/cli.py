@@ -10,6 +10,8 @@ Subcommands::
     orpheus convert MODEL OUT.onnx  # export a zoo model to ONNX
     orpheus compile MODEL OUT.oeng  # compile a model to an engine file
     orpheus engine-info FILE.oeng   # inspect a compiled engine
+    orpheus lint PATH...            # static analysis over Python sources
+    orpheus verify TARGET...        # validate model graphs / .oeng engines
     orpheus serve MODEL             # inference service under generated load
     orpheus serve-bench MODEL       # serving scenarios -> BENCH_serve.json
     orpheus serve-chaos MODEL       # kill/poison/hang chaos -> BENCH_chaos.json
@@ -87,6 +89,27 @@ def _build_parser() -> argparse.ArgumentParser:
     engine_info = sub.add_parser(
         "engine-info", help="inspect a compiled engine file")
     engine_info.add_argument("path", help=".oeng path")
+
+    lint = sub.add_parser(
+        "lint", help="static analysis: lock discipline + hygiene rules")
+    lint.add_argument("paths", nargs="+", metavar="PATH",
+                      help="Python files or directories to lint")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the findings report as JSON")
+    lint.add_argument("--strict", action="store_true",
+                      help="warnings also fail the run")
+
+    verify = sub.add_parser(
+        "verify",
+        help="statically validate a model graph or compiled engine")
+    verify.add_argument("targets", nargs="+", metavar="TARGET",
+                        help="zoo model name, .onnx model, or .oeng engine")
+    verify.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the findings report as JSON")
+    verify.add_argument("--strict", action="store_true",
+                        help="warnings (e.g. stale fingerprints) also fail")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="weight seed for zoo model targets")
 
     quantize = sub.add_parser(
         "quantize", help="post-training int8 quantization -> ONNX")
@@ -548,6 +571,36 @@ def _print_engine_info(engine) -> None:
             print(f"  {key:20s} {value}")
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import lint_paths
+    missing = [path for path in args.paths if not os.path.exists(path)]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    report = lint_paths(args.paths)
+    if args.as_json:
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return report.exit_code(strict=args.strict)
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.lint import Report, verify_target
+    report = Report()
+    for target in args.targets:
+        report.extend(verify_target(target, seed=args.seed))
+    if args.as_json:
+        print(report.to_json())
+    else:
+        print(report.format_text())
+        clean = [t for t in args.targets
+                 if not any(f.path == t for f in report.errors)]
+        if clean and len(args.targets) > 1:
+            print(f"verified clean: {', '.join(clean)}")
+    return report.exit_code(strict=args.strict)
+
+
 def _cmd_quantize(args: argparse.Namespace) -> int:
     from repro.onnx import save_model
     from repro.passes import default_pipeline
@@ -988,6 +1041,8 @@ _COMMANDS = {
     "convert": _cmd_convert,
     "compile": _cmd_compile,
     "engine-info": _cmd_engine_info,
+    "lint": _cmd_lint,
+    "verify": _cmd_verify,
     "compare": _cmd_compare,
     "conformance": _cmd_conformance,
     "quantize": _cmd_quantize,

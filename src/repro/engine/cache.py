@@ -62,7 +62,12 @@ class _FileLock:
                 fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             except FileExistsError:
                 try:
-                    age = time.time() - os.path.getmtime(self.path)
+                    # Wall clock on purpose: mtime is epoch time, so the
+                    # monotonic clock cannot age it. A backwards NTP step
+                    # makes `age` negative — abs() keeps an abandoned lock
+                    # from being pinned "fresh" forever by such a step.
+                    age = abs(time.time()  # lint: disable=ORL003
+                              - os.path.getmtime(self.path))
                 except OSError:
                     continue  # holder released between open and stat; retry
                 if age > self.stale_s:
@@ -122,12 +127,13 @@ class AutotuneCache:
                  host: dict[str, str] | None = None) -> None:
         self.path = os.fspath(os.path.expanduser(path))
         self.host = dict(host) if host is not None else host_fingerprint()
-        self.hits = 0
-        self.misses = 0
-        self.evicted = 0
+        self.hits = 0        # guarded-by: _mutex
+        self.misses = 0      # guarded-by: _mutex
+        self.evicted = 0     # guarded-by: _mutex
         self._mutex = threading.Lock()
-        self._dirty: set[str] = set()
-        self._entries: dict[str, str] = self._read_entries(count_evictions=True)
+        self._dirty: set[str] = set()   # guarded-by: _mutex
+        self._entries: dict[str, str] = (  # guarded-by: _mutex
+            self._read_entries(count_evictions=True))
 
     # -- lookups ---------------------------------------------------------------
 
@@ -184,7 +190,7 @@ class AutotuneCache:
             self._dirty.clear()
             return written
 
-    def _read_entries(self, count_evictions: bool) -> dict[str, str]:
+    def _read_entries(self, count_evictions: bool) -> dict[str, str]:  # requires-lock: _mutex
         """Load the on-disk entries; anything suspect reads as empty.
 
         A cache must never take a process down: unreadable files, bad

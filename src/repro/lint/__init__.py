@@ -1,0 +1,41 @@
+"""Self-hosted static analysis: concurrency lint and artifact verification.
+
+Two analyzers, one findings vocabulary:
+
+* :func:`lint_paths` — AST-based source lint. The centrepiece is the
+  ``# guarded-by:`` concurrency checker (attributes annotated with the
+  lock that guards them must only be touched inside ``with self.<lock>:``
+  blocks), backed by hygiene rules for the invariants the serving and
+  runtime layers depend on: monotonic clocks in timing paths, no pickle,
+  no bare ``except:``, seeded RNG everywhere, bounded reads in the frame
+  protocol's callers.
+* :func:`verify_graph` / :func:`verify_engine` — ahead-of-execution
+  validation of IR graphs and compiled ``.oeng`` engines: dangling
+  values, duplicate producers, cycles, shape/dtype-inference consistency,
+  memory-plan aliasing safety, fallback-chain completeness, and
+  engine-artifact cross-checks — without running a single kernel.
+
+Both surface through ``orpheus lint`` / ``orpheus verify`` and run over
+this repository's own source in CI (the ``lint-gate`` job); see
+``docs/static_analysis.md`` for the annotation convention and the rule
+catalog.
+"""
+
+from __future__ import annotations
+
+from repro.lint.findings import Finding, Report
+from repro.lint.rules import RULES, Rule
+from repro.lint.runner import lint_file, lint_paths
+from repro.lint.verify import verify_engine, verify_graph, verify_target
+
+__all__ = [
+    "Finding",
+    "Report",
+    "Rule",
+    "RULES",
+    "lint_file",
+    "lint_paths",
+    "verify_engine",
+    "verify_graph",
+    "verify_target",
+]

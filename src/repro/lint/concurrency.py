@@ -1,0 +1,268 @@
+"""The ``# guarded-by:`` lock-discipline checker (ORL001/ORL002).
+
+The convention is deliberately lightweight — one trailing comment per
+attribute, written where the attribute is first assigned::
+
+    class AdmissionQueue:
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+            self._items = []        # guarded-by: _lock
+            self._closed = False    # guarded-by: _lock
+
+From then on, every ``self._items`` / ``self._closed`` access anywhere in
+the class must happen inside a ``with self._lock:`` block (ORL001), and
+the named lock must be an attribute the class actually assigns (ORL002).
+
+What the checker understands beyond the plain ``with`` statement:
+
+* **Condition aliases.** ``self._not_empty = threading.Condition(self._lock)``
+  means ``with self._not_empty:`` acquires ``_lock`` too, so guarded
+  attributes of ``_lock`` are reachable inside either block.
+* **Helpers called under the lock.** Annotate the ``def`` line with
+  ``# requires-lock: _lock`` and the body is checked as if the lock were
+  held; call sites are the caller's responsibility (there is no
+  call-graph analysis — by design, so the checker stays O(file)).
+* **Pre-publication exemption.** ``__init__``/``__del__``/``__post_init__``
+  bodies are skipped: until the constructor returns, no other thread can
+  hold a reference, and by finalization none does again.
+* **Escaping closures.** A nested ``def``/``lambda`` may run on another
+  thread after the enclosing ``with`` exits, so the held-lock set resets
+  to empty inside it (its own ``# requires-lock:`` still applies).
+
+The checker is intentionally intra-class and syntactic: it will not
+follow aliases like ``lock = self._lock``, and code that acquires locks
+via explicit ``acquire()``/``release()`` pairs is unsupported (use a
+``with`` block — it is also exception-safe, which the pair is not).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.findings import Finding
+
+GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_]\w*)")
+REQUIRES_LOCK_RE = re.compile(r"#\s*requires-lock:\s*([A-Za-z_]\w*)")
+
+#: threading/multiprocessing factory names whose result is lock-like: a
+#: ``with self.<attr>:`` over such an attribute counts as acquisition.
+_LOCK_FACTORIES = {
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+}
+
+#: Methods whose bodies run before the object is published to (or after
+#: it is unreachable from) any other thread.
+_EXEMPT_METHODS = {"__init__", "__del__", "__post_init__"}
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.X`` -> ``"X"``, anything else -> None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _factory_name(call: ast.expr) -> str | None:
+    """The bare factory name of ``threading.Lock()`` / ``Lock()`` calls."""
+    if not isinstance(call, ast.Call):
+        return None
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _walk_in_class(node: ast.AST) -> Iterator[ast.AST]:
+    """ast.walk, but without descending into nested classes."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, ast.ClassDef):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+class _ClassInfo:
+    """Everything the checker learned about one class."""
+
+    def __init__(self) -> None:
+        self.assigned: set[str] = set()            # every self.X ever assigned
+        self.locks: set[str] = set()               # attrs built by a lock factory
+        # Entering `with self.<key>:` holds this whole set of lock names
+        # (a Condition holds itself plus its underlying lock).
+        self.aliases: dict[str, frozenset[str]] = {}
+        self.guarded: dict[str, str] = {}          # attr -> guarding lock name
+        self.guard_lines: dict[str, int] = {}      # attr -> annotation line
+
+    def holds(self, lock_attr: str) -> frozenset[str]:
+        return self.aliases.get(lock_attr, frozenset((lock_attr,)))
+
+    def is_lockish(self, attr: str) -> bool:
+        """Can ``with self.<attr>:`` plausibly be a lock acquisition?"""
+        return (attr in self.locks or attr in self.aliases
+                or attr in self.guarded.values())
+
+
+def _scan_class(
+    cls: ast.ClassDef, comments: dict[int, str],
+) -> _ClassInfo:
+    """First pass: attribute inventory, lock discovery, guard annotations."""
+    info = _ClassInfo()
+    for node in _walk_in_class(cls):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        if not targets:
+            continue
+        attrs: list[str] = []
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                attrs.extend(a for elt in target.elts
+                             if (a := _self_attr(elt)) is not None)
+            elif (attr := _self_attr(target)) is not None:
+                attrs.append(attr)
+        if not attrs:
+            continue
+        info.assigned.update(attrs)
+        value = getattr(node, "value", None)
+        factory = _factory_name(value) if value is not None else None
+        if factory in _LOCK_FACTORIES:
+            for attr in attrs:
+                info.locks.add(attr)
+                held = {attr}
+                if factory == "Condition" and isinstance(value, ast.Call):
+                    for arg in value.args[:1]:
+                        underlying = _self_attr(arg)
+                        if underlying is not None:
+                            held.add(underlying)
+                info.aliases[attr] = frozenset(held)
+        # Trailing `# guarded-by:` annotation on the assignment's line(s).
+        for line in range(node.lineno, (node.end_lineno or node.lineno) + 1):
+            match = GUARDED_BY_RE.search(comments.get(line, ""))
+            if match:
+                for attr in attrs:
+                    info.guarded.setdefault(attr, match.group(1))
+                    info.guard_lines.setdefault(attr, line)
+                break
+    return info
+
+
+class _MethodChecker(ast.NodeVisitor):
+    """Second pass: walk a method body tracking the held-lock set."""
+
+    def __init__(self, info: _ClassInfo, path: str,
+                 comments: dict[int, str], findings: list[Finding]) -> None:
+        self.info = info
+        self.path = path
+        self.comments = comments
+        self.findings = findings
+        self.held: frozenset[str] = frozenset()
+        self.flagged: set[tuple[int, str]] = set()
+
+    def _requires(self, def_line: int) -> frozenset[str]:
+        match = REQUIRES_LOCK_RE.search(self.comments.get(def_line, ""))
+        if match:
+            return self.info.holds(match.group(1))
+        return frozenset()
+
+    def check_method(self, method: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.held = self._requires(method.lineno)
+        for stmt in method.body:
+            self.visit(stmt)
+
+    # -- lock acquisition --------------------------------------------------------
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        acquired: set[str] = set()
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+            attr = _self_attr(item.context_expr)
+            if attr is not None and self.info.is_lockish(attr):
+                acquired.update(self.info.holds(attr))
+        saved = self.held
+        self.held = saved | acquired
+        for stmt in node.body:
+            self.visit(stmt)
+        self.held = saved
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
+
+    # -- escaping scopes ---------------------------------------------------------
+
+    def _visit_nested_def(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> None:
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        self.visit(node.args)
+        saved = self.held
+        self.held = self._requires(node.lineno)
+        for stmt in node.body:
+            self.visit(stmt)
+        self.held = saved
+
+    visit_FunctionDef = _visit_nested_def
+    visit_AsyncFunctionDef = _visit_nested_def
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self.visit(node.args)
+        saved = self.held
+        self.held = frozenset()
+        self.visit(node.body)
+        self.held = saved
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass  # a nested class is checked by its own _scan_class pass
+
+    # -- the actual check --------------------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = _self_attr(node)
+        if attr is not None:
+            guard = self.info.guarded.get(attr)
+            if guard is not None and guard not in self.held:
+                key = (node.lineno, attr)
+                if key not in self.flagged:
+                    self.flagged.add(key)
+                    self.findings.append(Finding(
+                        "ORL001", self.path, node.lineno,
+                        f"self.{attr} is guarded by self.{guard} but accessed "
+                        f"without holding it"))
+        self.generic_visit(node)
+
+
+def check_concurrency(
+    tree: ast.Module, path: str, comments: dict[int, str],
+) -> list[Finding]:
+    """Run the guarded-by checker over every class in ``tree``."""
+    findings: list[Finding] = []
+    classes = [node for node in ast.walk(tree)
+               if isinstance(node, ast.ClassDef)]
+    for cls in classes:
+        info = _scan_class(cls, comments)
+        for attr, lock in sorted(info.guarded.items()):
+            if lock not in info.assigned:
+                findings.append(Finding(
+                    "ORL002", path, info.guard_lines[attr],
+                    f"self.{attr} is annotated guarded-by {lock!r}, but the "
+                    f"class never assigns self.{lock}"))
+        if not info.guarded:
+            continue
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in _EXEMPT_METHODS:
+                continue
+            _MethodChecker(info, path, comments, findings).check_method(item)
+    return findings

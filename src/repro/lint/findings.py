@@ -1,0 +1,115 @@
+"""Findings: the one record both analyzers emit, plus the report around it.
+
+A :class:`Finding` is ``(rule, severity, path, line, message)`` — enough
+to print ``path:line: severity RULE message`` for a human and to emit a
+stable JSON object for tooling. A :class:`Report` is an ordered bag of
+findings with the exit-code policy attached: errors gate, warnings
+inform, ``--strict`` promotes warnings to gate too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Iterable
+
+from repro.lint.rules import ERROR, RULES, WARNING
+
+# Exit-code contract shared by `orpheus lint` and `orpheus verify`.
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source or artifact location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.rule not in RULES:
+            raise ValueError(f"unknown rule id: {self.rule!r}")
+
+    @property
+    def severity(self) -> str:
+        return RULES[self.rule].severity
+
+    @property
+    def rule_name(self) -> str:
+        return RULES[self.rule].name
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}: {self.severity} "
+                f"{self.rule} [{self.rule_name}] {self.message}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "name": self.rule_name,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+class Report:
+    """Ordered collection of findings with exit/formatting policy."""
+
+    def __init__(self, findings: Iterable[Finding] = ()) -> None:
+        self.findings: list[Finding] = list(findings)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def sorted(self) -> list[Finding]:
+        return sorted(self.findings,
+                      key=lambda f: (f.path, f.line, f.rule, f.message))
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self) -> Any:
+        return iter(self.findings)
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.errors or (strict and self.warnings):
+            return EXIT_FINDINGS
+        return EXIT_CLEAN
+
+    def format_text(self) -> str:
+        """Human-readable report: one line per finding plus a summary."""
+        lines = [f.format() for f in self.sorted()]
+        n_err, n_warn = len(self.errors), len(self.warnings)
+        if not lines:
+            lines.append("clean: no findings")
+        else:
+            lines.append(f"{n_err} error(s), {n_warn} warning(s)")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Stable JSON document (findings sorted, summary counts)."""
+        payload = {
+            "findings": [f.to_dict() for f in self.sorted()],
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "total": len(self.findings),
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)

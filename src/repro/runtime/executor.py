@@ -201,8 +201,8 @@ class Executor:
                     index=index, node=node, impl=chain[0], candidates=chain))
         self.context = ExecutionContext(
             threads=config.threads, gemm=backend.gemm_fn)
-        self.fallback_events: list[FallbackEvent] = []
-        self._runs_completed = 0
+        self.fallback_events: list[FallbackEvent] = []  # guarded-by: _report_lock
+        self._runs_completed = 0                        # guarded-by: _report_lock
         # Guards the robustness ledger only. An executor is single-threaded
         # on its hot path (one session, one owning thread), but health and
         # stats surfaces read robustness_report() from *other* threads

@@ -63,15 +63,15 @@ class CircuitBreaker:
         self.cooldown_s = cooldown_s
         self._clock = clock
         self._lock = threading.Lock()
-        self._state = CLOSED
-        self._consecutive = 0
-        self._opened_at = 0.0
-        self._probe_in_flight = False
-        self._trips = 0
-        self._recoveries = 0
-        self._probes = 0
-        self._failures = 0
-        self._successes = 0
+        self._state = CLOSED            # guarded-by: _lock
+        self._consecutive = 0           # guarded-by: _lock
+        self._opened_at = 0.0           # guarded-by: _lock
+        self._probe_in_flight = False   # guarded-by: _lock
+        self._trips = 0                 # guarded-by: _lock
+        self._recoveries = 0            # guarded-by: _lock
+        self._probes = 0                # guarded-by: _lock
+        self._failures = 0              # guarded-by: _lock
+        self._successes = 0             # guarded-by: _lock
 
     # -- routing ---------------------------------------------------------------
 
@@ -129,7 +129,7 @@ class CircuitBreaker:
                 self._trip()
             self._probe_in_flight = False
 
-    def _trip(self) -> None:
+    def _trip(self) -> None:  # requires-lock: _lock
         self._state = OPEN
         self._opened_at = self._clock()
         self._trips += 1

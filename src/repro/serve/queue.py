@@ -64,18 +64,19 @@ class AdmissionQueue:
         self._alpha = ewma_alpha
         # EWMA of one *batch* execution's wall time; seeded with a guess
         # that the first few observations quickly wash out.
-        self._ewma_batch_s = initial_service_s
-        self._observations = 0
+        self._ewma_batch_s = initial_service_s   # guarded-by: _lock
+        self._observations = 0                   # guarded-by: _lock
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
-        self._items: collections.deque[PendingResponse] = collections.deque()
-        self._closed = False
+        self._items: collections.deque[PendingResponse] = (  # guarded-by: _lock
+            collections.deque())
+        self._closed = False                     # guarded-by: _lock
         self.sheds: dict[str, int] = {}
         self._jitter_frac = retry_jitter_frac
         # shed() is called both under self._lock (try_admit) and lock-free
         # from dispatcher threads, so the jitter RNG gets its own lock.
         self._jitter_lock = threading.Lock()
-        self._jitter_rng = random.Random(jitter_seed)
+        self._jitter_rng = random.Random(jitter_seed)  # guarded-by: _jitter_lock
 
     # -- admission -------------------------------------------------------------
 

@@ -205,21 +205,21 @@ class InferenceService:
         self._sample_shape = self._infer_sample_shape()
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
-        self._counter = 0
-        self._submitted = 0
-        self._accepted = 0
-        self._completed = 0
-        self._failed = 0
-        self._late = 0
-        self._expired = 0
-        self._batches = 0
-        self._batched_requests = 0
-        self._reroutes = 0
-        self._inflight = 0
-        self._per_backend: dict[str, int] = {
+        self._counter = 0            # guarded-by: _lock
+        self._submitted = 0          # guarded-by: _lock
+        self._accepted = 0           # guarded-by: _lock
+        self._completed = 0          # guarded-by: _lock
+        self._failed = 0             # guarded-by: _lock
+        self._late = 0               # guarded-by: _lock
+        self._expired = 0            # guarded-by: _lock
+        self._batches = 0            # guarded-by: _lock
+        self._batched_requests = 0   # guarded-by: _lock
+        self._reroutes = 0           # guarded-by: _lock
+        self._inflight = 0           # guarded-by: _lock
+        self._per_backend: dict[str, int] = {  # guarded-by: _lock
             name: 0 for name in self.pool.backends}
-        self._draining = False
-        self._stopped = False
+        self._draining = False       # guarded-by: _lock
+        self._stopped = False        # guarded-by: _lock
         self._stop = threading.Event()
         self._threads = [
             threading.Thread(
@@ -491,8 +491,9 @@ class InferenceService:
         Whatever is still queued when the workers stop is resolved
         ``stopped`` — a killed service still leaves no request unanswered.
         """
-        if self._stopped:
-            return
+        with self._lock:
+            if self._stopped:
+                return
         if drain:
             self.drain(timeout=timeout)
         self._stop.set()

@@ -228,11 +228,11 @@ class WorkerSupervisor:
         }
         self._fault_seed = fault_seed
         self._lock = threading.Lock()
-        self._closed = False
-        self._death_counts: dict[str, int] = {}
-        self._quarantined: set[str] = set()
-        self._deaths_by_reason: dict[str, int] = {}
-        self._restarts_total = 0
+        self._closed = False                           # guarded-by: _lock
+        self._death_counts: dict[str, int] = {}        # guarded-by: _lock
+        self._quarantined: set[str] = set()            # guarded-by: _lock
+        self._deaths_by_reason: dict[str, int] = {}    # guarded-by: _lock
+        self._restarts_total = 0                       # guarded-by: _lock
         self.input_name = "input"
         self.sample_shape: tuple[int, ...] | None = None
         self.engine_hits: dict[str, bool] = {}

@@ -1,0 +1,206 @@
+"""Fixture battery for the ``# guarded-by:`` concurrency checker."""
+
+import textwrap
+
+from repro.lint.runner import lint_source
+
+PATH = "src/repro/serve/fixture.py"
+
+
+def rules_at(source: str) -> list[tuple[str, int]]:
+    return [(f.rule, f.line) for f in lint_source(textwrap.dedent(source), PATH)]
+
+
+GUARDED_CLASS = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._count = 0   # guarded-by: _lock
+"""
+
+
+def test_unlocked_read_flagged():
+    src = GUARDED_CLASS + """
+        def peek(self):
+            return self._count
+    """
+    assert [r for r, _ in rules_at(src)] == ["ORL001"]
+
+
+def test_unlocked_write_flagged():
+    src = GUARDED_CLASS + """
+        def bump(self):
+            self._count += 1
+    """
+    assert [r for r, _ in rules_at(src)] == ["ORL001"]
+
+
+def test_locked_access_clean():
+    src = GUARDED_CLASS + """
+        def bump(self):
+            with self._lock:
+                self._count += 1
+                return self._count
+    """
+    assert rules_at(src) == []
+
+
+def test_access_after_with_block_flagged():
+    src = GUARDED_CLASS + """
+        def bump(self):
+            with self._lock:
+                self._count += 1
+            return self._count
+    """
+    findings = rules_at(src)
+    assert len(findings) == 1 and findings[0][0] == "ORL001"
+
+
+def test_init_is_exempt():
+    # The constructor's unlocked writes (pre-publication) never flag.
+    assert rules_at(GUARDED_CLASS) == []
+
+
+def test_unrelated_attribute_clean():
+    src = GUARDED_CLASS + """
+        def name(self):
+            return self._label
+    """
+    assert rules_at(src) == []
+
+
+def test_wrong_lock_held_flagged():
+    src = """
+        import threading
+
+        class TwoLocks:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+                self._x = 0   # guarded-by: _a
+
+            def bad(self):
+                with self._b:
+                    self._x += 1
+    """
+    assert [r for r, _ in rules_at(src)] == ["ORL001"]
+
+
+def test_condition_alias_holds_underlying_lock():
+    src = """
+        import threading
+
+        class Queue:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._not_empty = threading.Condition(self._lock)
+                self._items = []   # guarded-by: _lock
+
+            def put(self, item):
+                with self._not_empty:
+                    self._items.append(item)
+                    self._not_empty.notify()
+
+            def drain(self):
+                with self._lock:
+                    items, self._items = self._items, []
+                return items
+    """
+    assert rules_at(src) == []
+
+
+def test_requires_lock_annotation_treats_body_as_locked():
+    src = """
+        import threading
+
+        class Breaker:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._state = "closed"   # guarded-by: _lock
+
+            def record(self):
+                with self._lock:
+                    self._trip()
+
+            def _trip(self):  # requires-lock: _lock
+                self._state = "open"
+    """
+    assert rules_at(src) == []
+
+
+def test_helper_without_requires_lock_flagged():
+    src = """
+        import threading
+
+        class Breaker:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._state = "closed"   # guarded-by: _lock
+
+            def _trip(self):
+                self._state = "open"
+    """
+    assert [r for r, _ in rules_at(src)] == ["ORL001"]
+
+
+def test_closure_does_not_inherit_held_lock():
+    # A nested def may run on another thread after the with exits.
+    src = GUARDED_CLASS + """
+        def schedule(self, executor):
+            with self._lock:
+                def later():
+                    return self._count
+                executor(later)
+    """
+    assert [r for r, _ in rules_at(src)] == ["ORL001"]
+
+
+def test_lambda_does_not_inherit_held_lock():
+    src = GUARDED_CLASS + """
+        def schedule(self, executor):
+            with self._lock:
+                executor(lambda: self._count)
+    """
+    assert [r for r, _ in rules_at(src)] == ["ORL001"]
+
+
+def test_unknown_guard_lock_flagged():
+    src = """
+        import threading
+
+        class Broken:
+            def __init__(self):
+                self._count = 0   # guarded-by: _mutex
+    """
+    findings = rules_at(src)
+    assert [r for r, _ in findings] == ["ORL002"]
+
+
+def test_suppression_works_for_concurrency_rule():
+    src = GUARDED_CLASS + """
+        def peek_racy(self):
+            return self._count  # lint: disable=ORL001
+    """
+    assert rules_at(src) == []
+
+
+def test_one_finding_per_line_even_with_repeated_access():
+    src = GUARDED_CLASS + """
+        def bad(self):
+            return self._count + self._count
+    """
+    assert len(rules_at(src)) == 1
+
+
+def test_try_finally_inside_with_stays_locked():
+    src = GUARDED_CLASS + """
+        def bump(self):
+            with self._lock:
+                try:
+                    self._count += 1
+                finally:
+                    self._count -= 0
+    """
+    assert rules_at(src) == []

@@ -1,0 +1,76 @@
+"""The gate the CI job enforces, pinned as a test: the repo's own source
+lints clean, and the CLI verbs keep their exit-code/JSON contract."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.lint import lint_paths
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src", "repro")
+
+
+def test_repo_source_lints_clean():
+    report = lint_paths([REPO_SRC])
+    assert report.errors == [], "\n" + report.format_text()
+
+
+def test_cli_lint_clean_exit_zero(capsys):
+    assert main(["lint", REPO_SRC]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_lint_finding_exit_one(tmp_path, capsys):
+    bad = tmp_path / "serve" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+    assert main(["lint", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "ORL003" in out and "bad.py:4" in out
+
+
+def test_cli_lint_json_output(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(x=[]):\n    return x\n")
+    assert main(["lint", "--json", str(bad)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["errors"] == 1
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "ORL008"
+    assert finding["line"] == 1
+    assert finding["severity"] == "error"
+
+
+def test_cli_lint_missing_path_usage_error(capsys):
+    assert main(["lint", "/no/such/dir"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_cli_lint_strict_promotes_warnings(tmp_path):
+    warn_only = tmp_path / "warn.py"
+    warn_only.write_text("x = 1  # lint: disable=ORL999\n")
+    assert main(["lint", str(warn_only)]) == 0
+    assert main(["lint", "--strict", str(warn_only)]) == 1
+
+
+def test_cli_verify_zoo_model(capsys):
+    assert main(["verify", "wrn-40-2"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_verify_corrupt_engine_json(tmp_path, capsys):
+    path = tmp_path / "junk.oeng"
+    path.write_bytes(b"not an engine at all")
+    assert main(["verify", "--json", str(path)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "ORV100"
+
+
+@pytest.mark.parametrize("argv", [["lint"], ["verify"]])
+def test_cli_verbs_require_arguments(argv):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
