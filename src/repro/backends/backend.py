@@ -39,6 +39,12 @@ class Backend:
             a third-party integration brings its own).
         include_experimental: allow implicitly selecting kernels flagged
             experimental (named preferences always work).
+        quantize: auto-quantize graphs prepared against this backend —
+            sessions and the engine compiler run post-training int8
+            quantization (:mod:`repro.quant.auto`) after the optimisation
+            pipeline, then execute with this backend's quantized kernel
+            preferences. Convs the quantizer cannot convert stay float:
+            degradation is structural, never a crash.
     """
 
     name: str
@@ -48,6 +54,7 @@ class Backend:
     gemm: str = "blas"
     registry: KernelRegistry = dataclasses.field(default=REGISTRY, repr=False)
     include_experimental: bool = False
+    quantize: bool = False
 
     def __post_init__(self) -> None:
         if self.gemm not in GEMM_PRIMITIVES:

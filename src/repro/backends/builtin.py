@@ -5,6 +5,10 @@
 * ``reference`` — slow, obviously-correct kernels; the testing oracle.
 * ``direct`` / ``spatial_pack`` / ``winograd`` / ``fft`` — single-algorithm
   backends used by the per-layer experiments and ablations.
+* ``int8`` — post-training-quantized execution: graphs prepared against it
+  are auto-quantized (:mod:`repro.quant.auto`) and run uint8 regions with
+  the fast QLinearConv kernels; anything the quantizer or the quantized
+  kernels cannot handle stays on the float ``orpheus`` path structurally.
 """
 
 from __future__ import annotations
@@ -57,4 +61,24 @@ FFT = register_backend(Backend(
     name="fft",
     description="frequency-domain convolution where applicable",
     preferences={"Conv": ("direct_dw", "fft", "im2col")},
+))
+
+INT8 = register_backend(Backend(
+    name="int8",
+    description="auto-quantized uint8 inference with fused requantization",
+    preferences={
+        # Quantized ops: arena kernels first, exact f64 formulation next,
+        # and candidates() appends the "reference" alias as the final
+        # fallback — a quantized node degrades inside its own chain.
+        "QLinearConv": ("qdirect_dw", "qgemm", "default"),
+        "QuantizeLinear": ("fast", "default"),
+        "DequantizeLinear": ("fast", "default"),
+        # Float residue (unconverted convs, pools, classifier) runs the
+        # regular orpheus selection.
+        "Conv": ("direct_dw", "im2col"),
+        "MaxPool": ("offsets",),
+        "AveragePool": ("offsets",),
+    },
+    gemm="blas",
+    quantize=True,
 ))

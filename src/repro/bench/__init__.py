@@ -21,6 +21,11 @@ from repro.bench.regression import (
     measure_baseline,
     save_baseline,
 )
+from repro.bench.quant import (
+    format_quant_bench,
+    measure_quant_crossover,
+    save_quant_bench,
+)
 from repro.bench.reporting import format_csv, format_table
 from repro.bench.sweeps import SweepPoint, SweepResult, batch_sweep, resolution_sweep
 from repro.bench.table1 import render_table1, table1_csv, table1_headers, table1_rows
@@ -53,7 +58,10 @@ __all__ = [
     "resolution_sweep",
     "calibration_batches",
     "format_csv",
+    "format_quant_bench",
     "format_table",
+    "measure_quant_crossover",
+    "save_quant_bench",
     "model_input",
     "race_conv_impls",
     "render_table1",

@@ -93,10 +93,18 @@ def run_guarded(
 
 @dataclasses.dataclass(frozen=True)
 class RunStats:
-    """Timing statistics for one experiment configuration."""
+    """Timing statistics for one experiment configuration.
+
+    ``max_abs_err`` is the accuracy proxy: the maximum absolute difference
+    of this configuration's outputs against an fp32 reference run on the
+    same feeds (``None`` when no reference was requested). Quantized
+    backends report it so speedups are never quoted without the numeric
+    cost alongside.
+    """
 
     label: str
     times: tuple[float, ...]
+    max_abs_err: float | None = None
 
     @property
     def median(self) -> float:
@@ -115,9 +123,12 @@ class RunStats:
         return statistics.stdev(self.times) if len(self.times) > 1 else 0.0
 
     def summary(self) -> str:
-        return (f"{self.label}: median {self.median * 1e3:.2f} ms, "
+        text = (f"{self.label}: median {self.median * 1e3:.2f} ms, "
                 f"best {self.best * 1e3:.2f} ms, "
                 f"stdev {self.stdev * 1e3:.2f} ms over {len(self.times)} runs")
+        if self.max_abs_err is not None:
+            text += f", max|err| {self.max_abs_err:.3g}"
+        return text
 
 
 def time_session(
@@ -145,6 +156,7 @@ def time_model(
     deadline_ms: float | None = None,
     memory_budget_bytes: int | None = None,
     budget_mode: str = "reject",
+    accuracy_vs: "str | Backend | None" = None,
 ) -> RunStats:
     """Build, prepare, and time a zoo model end to end.
 
@@ -155,6 +167,12 @@ def time_model(
     fit even degraded raises :class:`~repro.errors.MemoryBudgetError`,
     which the sweep-level failure boundary converts into a
     :class:`FailureRow`.
+
+    ``accuracy_vs`` names a reference backend (typically ``"orpheus"``
+    when timing ``"int8"``): after timing, both sessions run once on the
+    same input and the max absolute output difference is reported as
+    :attr:`RunStats.max_abs_err`. The reference runs without the memory
+    budget — it is a numeric yardstick, not a competitor.
     """
     from repro.errors import MemoryBudgetError
 
@@ -171,13 +189,28 @@ def time_model(
         return session, x
 
     label = f"{model_name}/{backend_name}/t{threads}"
+    used_batch = batch
     try:
         session, x = build(batch)
     except MemoryBudgetError:
         if budget_mode != "degrade" or batch <= 1:
             raise
         session, x = build(1)
+        used_batch = 1
         label += "/degraded-batch-1"
     times = session.time(
         {"input": x}, repeats=repeats, warmup=warmup, deadline_ms=deadline_ms)
-    return RunStats(label=label, times=tuple(times))
+    max_abs_err: float | None = None
+    if accuracy_vs is not None:
+        graph = zoo.build(
+            model_name, batch=used_batch, image_size=image_size, seed=seed)
+        reference = InferenceSession(
+            graph, backend=accuracy_vs, threads=threads, optimize=optimize)
+        got = session.run({"input": x})
+        want = reference.run({"input": x})
+        max_abs_err = max(
+            (float(np.max(np.abs(got[name].astype(np.float64)
+                                 - want[name].astype(np.float64))))
+             for name in want), default=0.0)
+    return RunStats(
+        label=label, times=tuple(times), max_abs_err=max_abs_err)

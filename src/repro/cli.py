@@ -279,6 +279,26 @@ def _build_parser() -> argparse.ArgumentParser:
     group.add_argument("--check", metavar="PATH")
     baseline.add_argument("--repeats", type=int, default=7)
     baseline.add_argument("--tolerance", type=float, default=0.25)
+    kernels = bench_sub.add_parser(
+        "kernels", help="kernel-level model timings; --compare gates on a "
+                        "committed baseline (exit 2 on regression)")
+    kernels.add_argument("--compare", metavar="PATH", default=None,
+                         help="re-measure PATH's configurations and exit 2 "
+                              "if any median regressed beyond tolerance")
+    kernels.add_argument("--save", metavar="PATH", default=None,
+                         help="write the measured baseline to PATH")
+    kernels.add_argument("--repeats", type=int, default=7)
+    kernels.add_argument("--tolerance", type=float, default=0.25)
+    quant = bench_sub.add_parser(
+        "quant", help="fp32 vs int8 crossover with accuracy proxy")
+    quant.add_argument("--save", metavar="PATH", default=None,
+                       help="also write the JSON document to PATH")
+    quant.add_argument("--repeats", type=int, default=7)
+    quant.add_argument("--models", nargs="*", default=None,
+                       help="restrict the steady-state sweep to these "
+                            "zoo models")
+    quant.add_argument("--no-scenarios", action="store_true",
+                       help="skip the memory-budget deployment scenarios")
     return parser
 
 
@@ -1000,6 +1020,50 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                                 repeats=args.repeats)
         print(report.summary())
         return 0 if report.ok else 1
+    if args.experiment == "kernels":
+        from repro.bench.regression import (
+            check_baseline, measure_baseline, save_baseline)
+        if args.compare:
+            report = check_baseline(args.compare, tolerance=args.tolerance,
+                                    repeats=args.repeats)
+            print(report.summary())
+            # exit 2: a perf gate distinct from measurement failures (1)
+            return 0 if report.ok else 2
+        document = (save_baseline(args.save, repeats=args.repeats)
+                    if args.save
+                    else measure_baseline(repeats=args.repeats))
+        for key, entry in document["entries"].items():
+            print(f"  {key:32s} {entry['median_ms']:8.2f} ms")
+        if args.save:
+            print(f"wrote {args.save}")
+        return 0
+    if args.experiment == "quant":
+        from repro.bench.quant import (
+            STEADY_STATE_CONFIGS,
+            format_quant_bench,
+            measure_quant_crossover,
+        )
+        configs = None
+        if args.models:
+            wanted = set(args.models)
+            configs = tuple(entry for entry in STEADY_STATE_CONFIGS
+                            if entry[0] in wanted)
+            missing = wanted - {model for model, _ in configs}
+            if missing:
+                raise SystemExit(
+                    f"unknown quant-bench models: {', '.join(sorted(missing))}")
+        document = measure_quant_crossover(
+            configs=configs,
+            scenarios=(() if args.no_scenarios else None),
+            repeats=args.repeats)
+        print(format_quant_bench(document))
+        if args.save:
+            import json
+            with open(args.save, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote {args.save}")
+        return 0
     from repro.bench.figure2 import run_figure2
     from repro.frameworks.adapters import EVALUATION_ORDER
     from repro.models.zoo import FIGURE2_MODELS

@@ -29,8 +29,10 @@ if TYPE_CHECKING:
     from repro.runtime.session import InferenceSession
 
 #: Op types autotuned by default when tuning is requested without an
-#: explicit candidate map. Conv dominates edge CNN inference time.
-DEFAULT_TUNE_OPS = ("Conv",)
+#: explicit candidate map. Conv dominates edge CNN inference time;
+#: QLinearConv is its counterpart on quantized graphs (a no-op entry on
+#: float graphs — tuning only races ops the graph actually contains).
+DEFAULT_TUNE_OPS = ("Conv", "QLinearConv")
 
 
 def tuning_candidates(
@@ -99,6 +101,16 @@ def compile_graph(
         from repro.passes import default_pipeline
         working = default_pipeline().run(working)
 
+    # Mirror the session's cold prepare exactly: a quantize=True backend
+    # calibrates and quantizes *at compile time*, freezing scales, zero
+    # points, and int8 weights into the engine. Warm starts skip the
+    # whole calibration cost.
+    quantization: dict[str, int] | None = None
+    if backend.quantize:
+        from repro.quant.auto import auto_quantize
+        working, report = auto_quantize(working)
+        quantization = report.as_dict()
+
     tuned: dict[str, str] = {}
     if tune:
         candidates = (tuning_candidates(backend) if tune is True
@@ -120,6 +132,7 @@ def compile_graph(
         fingerprint=fingerprint,
         tuned=tuned,
         metadata=dict(metadata or {}),
+        quantization=quantization,
     )
 
 
@@ -158,6 +171,7 @@ def engine_from_session(
         fingerprint=fingerprint,
         tuned={},
         metadata=dict(metadata or {}),
+        quantization=session.quantization,
     )
 
 

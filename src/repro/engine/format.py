@@ -66,7 +66,10 @@ from repro.runtime.memory_planner import MemoryPlan, SlotAssignment
 from repro.tensor.dtype import DType
 
 MAGIC = b"ORPHENG\x00"
-ENGINE_FORMAT_VERSION = 1
+#: Version 2 added the ``quantization`` header section: engines compiled
+#: against a ``quantize=True`` backend freeze their calibrated graph and
+#: record the transform report, so a warm start never re-calibrates.
+ENGINE_FORMAT_VERSION = 2
 
 #: Size caps, mirroring the ONNX reader's defensive limits. A header over
 #: 64 MiB, structure over 256 MiB, or weights over 4 GiB is corruption,
@@ -84,6 +87,7 @@ _MIN_FILE_BYTES = _PREFIX.size + 2 * _SECTION_LEN.size + _CRC.size
 _REQUIRED_HEADER_KEYS = (
     "fingerprint", "schedule", "kernel_plan", "fallback_plan",
     "value_types", "memory_plan", "weights", "tuned", "metadata",
+    "quantization",
 )
 
 
@@ -106,6 +110,12 @@ class Engine:
             compile time (already reflected in ``kernel_plan``; kept
             separately so ``engine-info`` can report what tuning changed).
         metadata: free-form strings (model name, compile options).
+        quantization: the post-training-quantization report
+            (:meth:`repro.quant.quantize.QuantizationReport.as_dict`) when
+            the engine was compiled against a ``quantize=True`` backend;
+            ``None`` for float engines. The quantized graph itself — Q/DQ
+            nodes, int8 weights, scales, zero points — ships in ``graph``,
+            so a warm start never re-calibrates.
     """
 
     graph: Graph
@@ -117,6 +127,7 @@ class Engine:
     fingerprint: dict[str, Any]
     tuned: dict[str, str] = dataclasses.field(default_factory=dict)
     metadata: dict[str, Any] = dataclasses.field(default_factory=dict)
+    quantization: dict[str, int] | None = None
 
     def info(self) -> dict[str, Any]:
         """Summary dict for ``repro engine-info`` and logs."""
@@ -133,6 +144,8 @@ class Engine:
             "kernels": sorted(set(self.kernel_plan.values())),
             "fingerprint": dict(self.fingerprint),
             "metadata": dict(self.metadata),
+            "quantization": (None if self.quantization is None
+                             else dict(self.quantization)),
         }
 
 
@@ -233,6 +246,7 @@ def serialize_engine(engine: Engine) -> bytes:
         "weights": weight_index,
         "tuned": engine.tuned,
         "metadata": engine.metadata,
+        "quantization": engine.quantization,
     }
     header_bytes = json.dumps(
         header, sort_keys=True, separators=(",", ":")).encode("utf-8")
@@ -584,6 +598,15 @@ def parse_engine(data: "bytes | np.ndarray") -> Engine:
     fingerprint = _str_dict(header["fingerprint"], "fingerprint")
     metadata = _str_dict(header["metadata"], "metadata")
 
+    quantization = header["quantization"]
+    if quantization is not None:
+        quantization = _str_dict(quantization, "quantization")
+        for key, value in quantization.items():
+            _expect(isinstance(value, int) and not isinstance(value, bool)
+                    and value >= 0,
+                    f"engine header: quantization[{key!r}] must be a "
+                    f"non-negative count")
+
     return Engine(
         graph=graph,
         schedule=tuple(schedule),
@@ -594,6 +617,7 @@ def parse_engine(data: "bytes | np.ndarray") -> Engine:
         fingerprint=fingerprint,
         tuned=dict(tuned),
         metadata=metadata,
+        quantization=None if quantization is None else dict(quantization),
     )
 
 

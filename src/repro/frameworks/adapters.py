@@ -206,5 +206,33 @@ class TFLiteAdapter(SessionAdapter):
 
 TFLITE_ADAPTER = register_adapter(TFLiteAdapter())
 
+# -- Orpheus int8: post-training-quantized execution --------------------------------
+#
+# Not a paper framework but a first-class Figure-2 competitor: the same
+# runtime with the auto-quantizing ``int8`` backend (calibration + QDQ
+# transform at prepare time, uint8 regions with fused requantization at
+# run time). Sharing :class:`SessionAdapter` means it inherits the engine
+# cache, the timing protocol, and the failure boundary unchanged.
+
+
+def _int8_backend() -> Backend:
+    from repro.backends import get_backend
+    return get_backend("int8")
+
+
+class Int8Adapter(SessionAdapter):
+    """Quantized Orpheus: auto-quantized graphs on the int8 backend."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="int8",
+            display_name="Orpheus int8",
+            backend=_int8_backend(),
+            optimize=True,
+        )
+
+
+INT8_ADAPTER = register_adapter(Int8Adapter())
+
 #: Adapter evaluation order for the Figure 2 harness.
-EVALUATION_ORDER = ("orpheus", "tvm", "pytorch", "darknet", "tflite")
+EVALUATION_ORDER = ("orpheus", "tvm", "pytorch", "darknet", "tflite", "int8")

@@ -18,6 +18,8 @@ from repro.kernels import (  # noqa: F401  (imported for registration side effec
     indexing_kernels,
     norm_kernels,
     pool_kernels,
+    qconv,
+    qgemm,
     reduction_kernels,
     shape_kernels,
 )

@@ -97,6 +97,14 @@ _CATALOG = (
          "a node's kernel chain does not bottom out at the canonical "
          "'reference' implementation; fallback insurance is thinner than "
          "it could be"),
+    Rule("ORV114", "bad-quant-params", ERROR,
+         "a quantized node carries an invalid scale (non-positive, NaN, "
+         "or infinite) or a zero point outside its dtype's range; "
+         "requantization through it would produce garbage"),
+    Rule("ORV115", "quantization-header-mismatch", ERROR,
+         "the engine's quantization header disagrees with the graph it "
+         "ships (QLinearConv nodes present without a report, or a report "
+         "whose counts do not match the graph)"),
 )
 
 RULES: dict[str, Rule] = {rule.id: rule for rule in _CATALOG}

@@ -16,7 +16,11 @@ the *semantic* invariants parsing cannot see without doing real work:
   winner, and (warning) bottoms out at the reference kernel —
   ORV107/ORV113;
 * the engine's host fingerprint matches this machine (warning; a stale
-  engine loads, it just falls back to cold prepare) — ORV110.
+  engine loads, it just falls back to cold prepare) — ORV110;
+* every quantized node's scales are positive and finite and its zero
+  points sit inside the quantized dtype's range — ORV114 — and an
+  engine's frozen quantization header agrees with the graph it ships —
+  ORV115.
 
 All checks are static: no kernel runs, no tensor is allocated. Findings
 use line 0 — artifacts have sections, not lines — with the artifact path
@@ -27,6 +31,8 @@ from __future__ import annotations
 
 import os
 from typing import Any
+
+import numpy as np
 
 from repro.engine.fingerprint import HOST_KEYS, host_fingerprint
 from repro.engine.format import Engine, load_engine
@@ -101,6 +107,63 @@ def verify_graph(graph: Graph, label: str | None = None) -> list[Finding]:
         except (ShapeInferenceError, UnsupportedOpError, GraphError) as exc:
             findings.append(_f(
                 "ORV104", label, f"shape inference fails: {exc}"))
+    findings.extend(_check_quant_params(graph, label))
+    return findings
+
+
+#: (scale input index, zero-point input index) pairs per quantized op.
+_QUANT_PARAM_INPUTS = {
+    "QuantizeLinear": ((1, 2),),
+    "DequantizeLinear": ((1, 2),),
+    "QLinearConv": ((1, 2), (4, 5), (6, 7)),
+}
+
+
+def _check_quant_params(graph: Graph, label: str) -> list[Finding]:
+    """ORV114: scales positive and finite, zero points in-range.
+
+    Only initializer-backed parameters are checked (dynamic scales cannot
+    be validated statically); that covers every graph the quantizer emits.
+    """
+    findings: list[Finding] = []
+    for node in graph.nodes:
+        pairs = _QUANT_PARAM_INPUTS.get(node.op_type)
+        if pairs is None:
+            continue
+        for scale_index, zp_index in pairs:
+            if scale_index < len(node.inputs):
+                scale = graph.initializers.get(node.inputs[scale_index])
+                if scale is not None:
+                    values = np.asarray(scale, dtype=np.float64).reshape(-1)
+                    if values.size and (not np.all(np.isfinite(values))
+                                        or np.any(values <= 0.0)):
+                        findings.append(_f(
+                            "ORV114", label,
+                            f"node {node.name!r}: scale "
+                            f"{node.inputs[scale_index]!r} must be positive "
+                            f"and finite, got "
+                            f"{values[np.argmin(values)]!r}"))
+            if zp_index < len(node.inputs):
+                zero_point = graph.initializers.get(node.inputs[zp_index])
+                if zero_point is None:
+                    continue
+                if not np.issubdtype(zero_point.dtype, np.integer):
+                    findings.append(_f(
+                        "ORV114", label,
+                        f"node {node.name!r}: zero point "
+                        f"{node.inputs[zp_index]!r} has non-integer dtype "
+                        f"{zero_point.dtype}"))
+                    continue
+                flat = np.asarray(zero_point, dtype=np.int64).reshape(-1)
+                # int8 and uint8 are the two storage types the quantizer
+                # emits; anything outside their union cannot round-trip.
+                if flat.size and (flat.min() < -128 or flat.max() > 255):
+                    findings.append(_f(
+                        "ORV114", label,
+                        f"node {node.name!r}: zero point "
+                        f"{node.inputs[zp_index]!r} value "
+                        f"{int(flat[np.argmax(np.abs(flat))])} is outside "
+                        f"the int8/uint8 range"))
     return findings
 
 
@@ -248,6 +311,31 @@ def _check_fingerprint(engine: Engine, label: str) -> list[Finding]:
     return []
 
 
+def _check_quantization_header(engine: Engine, label: str) -> list[Finding]:
+    """ORV115: the frozen quantization report matches the shipped graph."""
+    quantized_nodes = sum(
+        1 for node in engine.graph.nodes if node.op_type == "QLinearConv")
+    report = engine.quantization
+    if report is None:
+        if quantized_nodes:
+            return [_f(
+                "ORV115", label,
+                f"graph carries {quantized_nodes} QLinearConv nodes but the "
+                f"engine has no quantization header")]
+        return []
+    converted = report.get("converted_convs")
+    if converted is None:
+        return [_f(
+            "ORV115", label,
+            "quantization header lacks the 'converted_convs' count")]
+    if converted != quantized_nodes:
+        return [_f(
+            "ORV115", label,
+            f"quantization header says {converted} converted convs, the "
+            f"graph carries {quantized_nodes} QLinearConv nodes")]
+    return []
+
+
 def verify_engine(engine: Engine, label: str | None = None) -> list[Finding]:
     """Statically validate a parsed engine (graph + all frozen plans)."""
     label = label or f"engine:{engine.graph.name}"
@@ -257,6 +345,7 @@ def verify_engine(engine: Engine, label: str | None = None) -> list[Finding]:
         findings.extend(_check_value_types(engine, label))
     findings.extend(_check_memory_plan(engine, label))
     findings.extend(_check_fingerprint(engine, label))
+    findings.extend(_check_quantization_header(engine, label))
     return findings
 
 

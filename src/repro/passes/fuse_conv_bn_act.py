@@ -1,0 +1,72 @@
+"""Single-pass Conv + BatchNormalization + activation fusion.
+
+:class:`~repro.passes.fold_batchnorm.FoldBatchNorm` and
+:class:`~repro.passes.fuse_activations.FuseConvActivation` each match a
+*pair*; this pass matches the full ``Conv -> BN -> Relu/Relu6`` triple —
+the standard block in every zoo model — and collapses it to one fused Conv
+node in a single rewrite.
+
+The arithmetic is deliberately *shared* with the pair passes:
+``FoldBatchNorm._fold`` rescales the weights and
+``FuseConvActivation._classify`` recognises the activation, so a graph
+rewritten here is bitwise identical to one rewritten by the two-pass
+composition (the fusion-equivalence tests pin this). The point of the
+triple pass is transactionality: the quantizer sees either the whole
+fused conv (one calibrated output range, one QLinearConv with a fused
+activation clamp) or the original triple — never a half-fused
+intermediate state from a pipeline that stopped between passes.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import Graph
+from repro.passes.fold_batchnorm import FoldBatchNorm
+from repro.passes.fuse_activations import FuseConvActivation
+from repro.passes.pass_manager import GraphPass
+
+
+class FuseConvBnAct(GraphPass):
+    """Collapse ``Conv -> BatchNormalization -> Relu/Relu6`` into one node."""
+
+    name = "fuse-conv-bn-act"
+
+    def apply(self, graph: Graph) -> int:
+        fused = 0
+        output_names = set(graph.output_names)
+        for bn in graph.nodes_by_type("BatchNormalization"):
+            producers = graph.producers()
+            consumers = graph.consumers()
+            if len(bn.outputs) > 1:
+                continue  # training-mode outputs requested
+            conv = producers.get(bn.inputs[0])
+            if conv is None or conv.op_type != "Conv":
+                continue
+            if "activation" in conv.attrs:
+                continue
+            if len(consumers.get(conv.outputs[0], ())) != 1:
+                continue  # pre-BN value used elsewhere
+            if conv.outputs[0] in output_names:
+                continue
+            bn_consumers = consumers.get(bn.outputs[0], ())
+            if len(bn_consumers) != 1 or bn.outputs[0] in output_names:
+                continue
+            act = bn_consumers[0]
+            activation = FuseConvActivation._classify(graph, act)
+            if activation is None:
+                continue
+            if act.inputs[0] != bn.outputs[0]:
+                continue
+            param_names = bn.inputs[1:5]
+            if any(name not in graph.initializers for name in param_names):
+                continue
+            if conv.inputs[1] not in graph.initializers:
+                continue
+            # Same weight arithmetic as the pair pass — bitwise equivalence
+            # with FoldBatchNorm-then-FuseConvActivation is the contract.
+            if not FoldBatchNorm._fold(graph, conv, bn):
+                continue
+            graph.remove_nodes([bn, act])
+            conv.attrs.set("activation", activation)
+            conv.outputs[0] = act.outputs[0]
+            fused += 1
+        return fused

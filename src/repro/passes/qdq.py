@@ -1,0 +1,170 @@
+"""Quantize/dequantize boundary passes: keep int8 regions int8.
+
+The QDQ transform (:func:`repro.quant.quantize.quantize_graph`) first wraps
+every convertible conv in a ``QuantizeLinear -> QLinearConv ->
+DequantizeLinear`` island. Left like that, every layer boundary pays a
+dequantize *and* a requantize — three full tensor traversals that erase
+the quantized kernels' advantage. These passes grow the islands into
+regions:
+
+* :class:`CancelQDQ` removes ``DequantizeLinear -> QuantizeLinear`` pairs
+  quoting the same parameters (the identity on uint8), so conv->conv
+  chains stay integer end to end.
+* :class:`CommuteQDQPooling` pushes MaxPool and Concat *inside* the
+  quantized domain: ``DQ -> MaxPool -> Q`` with equal parameters becomes
+  a uint8 MaxPool (quantization is monotone, so max commutes with it
+  exactly), and a Concat whose every input is a DQ with the same
+  parameters becomes a uint8 Concat. Range unification during
+  calibration (:func:`repro.quant.quantize.unify_ranges`) arranges for
+  the parameters to be equal in exactly these spots.
+
+Both rewrites are exact on the uint8 domain — they change *where* the
+cast happens, never the values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.graph import Graph
+from repro.ir.node import Node
+from repro.passes.pass_manager import GraphPass
+
+
+def _params_equal(graph: Graph, a_scale: str, a_zp: str,
+                  b_scale: str, b_zp: str) -> bool:
+    """Do two (scale, zero_point) initializer pairs hold identical values?"""
+    values = [graph.initializers.get(name)
+              for name in (a_scale, a_zp, b_scale, b_zp)]
+    if any(v is None for v in values):
+        return False
+    scale_a, zp_a, scale_b, zp_b = values
+    return bool(
+        np.allclose(scale_a, scale_b)
+        and np.array_equal(np.asarray(zp_a).reshape(-1),
+                           np.asarray(zp_b).reshape(-1)))
+
+
+class CancelQDQ(GraphPass):
+    """Remove ``DequantizeLinear -> QuantizeLinear`` identity pairs."""
+
+    name = "cancel-qdq"
+
+    def apply(self, graph: Graph) -> int:
+        removed = 0
+        changed = True
+        while changed:
+            changed = False
+            producers = graph.producers()
+            consumers = graph.consumers()
+            for node in graph.nodes_by_type("QuantizeLinear"):
+                upstream = producers.get(node.inputs[0])
+                if upstream is None or upstream.op_type != "DequantizeLinear":
+                    continue
+                if len(consumers.get(upstream.outputs[0], ())) != 1:
+                    continue
+                if upstream.outputs[0] in graph.output_names:
+                    continue
+                if node.outputs[0] in graph.output_names:
+                    continue
+                if not _params_equal(
+                        graph, upstream.inputs[1], upstream.inputs[2],
+                        node.inputs[1], node.inputs[2]):
+                    continue
+                source = upstream.inputs[0]
+                for consumer in graph.nodes:
+                    consumer.replace_input(node.outputs[0], source)
+                graph.remove_nodes([upstream, node])
+                removed += 1
+                changed = True
+                break
+        return removed
+
+
+class CommuteQDQPooling(GraphPass):
+    """Commute MaxPool and Concat through matching Q/DQ boundaries."""
+
+    name = "commute-qdq-pooling"
+
+    def apply(self, graph: Graph) -> int:
+        return self._commute_maxpool(graph) + self._commute_concat(graph)
+
+    def _commute_maxpool(self, graph: Graph) -> int:
+        rewritten = 0
+        changed = True
+        while changed:
+            changed = False
+            producers = graph.producers()
+            consumers = graph.consumers()
+            for pool in graph.nodes_by_type("MaxPool"):
+                if len(pool.outputs) != 1:
+                    continue  # indices output requested
+                dq = producers.get(pool.inputs[0])
+                if dq is None or dq.op_type != "DequantizeLinear":
+                    continue
+                if len(consumers.get(dq.outputs[0], ())) != 1:
+                    continue
+                if dq.outputs[0] in graph.output_names:
+                    continue
+                pool_users = consumers.get(pool.outputs[0], ())
+                if len(pool_users) != 1 or pool.outputs[0] in graph.output_names:
+                    continue
+                q = pool_users[0]
+                if q.op_type != "QuantizeLinear":
+                    continue
+                if q.outputs[0] in graph.output_names:
+                    continue
+                if not _params_equal(graph, dq.inputs[1], dq.inputs[2],
+                                     q.inputs[1], q.inputs[2]):
+                    continue
+                source = dq.inputs[0]
+                pool.replace_input(dq.outputs[0], source)
+                for consumer in graph.nodes:
+                    consumer.replace_input(q.outputs[0], pool.outputs[0])
+                graph.remove_nodes([dq, q])
+                rewritten += 1
+                changed = True
+                break
+        return rewritten
+
+    def _commute_concat(self, graph: Graph) -> int:
+        rewritten = 0
+        changed = True
+        while changed:
+            changed = False
+            producers = graph.producers()
+            consumers = graph.consumers()
+            for concat in graph.nodes_by_type("Concat"):
+                users = consumers.get(concat.outputs[0], ())
+                if len(users) != 1 or concat.outputs[0] in graph.output_names:
+                    continue
+                q = users[0]
+                if q.op_type != "QuantizeLinear":
+                    continue
+                if q.outputs[0] in graph.output_names:
+                    continue
+                dqs: list[Node] = []
+                for name in concat.inputs:
+                    dq = producers.get(name)
+                    if (dq is None or dq.op_type != "DequantizeLinear"
+                            or len(consumers.get(dq.outputs[0], ())) != 1
+                            or dq.outputs[0] in graph.output_names):
+                        dqs = []
+                        break
+                    dqs.append(dq)
+                if not dqs:
+                    continue
+                if not all(
+                        _params_equal(graph, dq.inputs[1], dq.inputs[2],
+                                      q.inputs[1], q.inputs[2])
+                        for dq in dqs):
+                    continue
+                for dq in dqs:
+                    concat.replace_input(dq.outputs[0], dq.inputs[0])
+                for consumer in graph.nodes:
+                    consumer.replace_input(q.outputs[0], concat.outputs[0])
+                graph.remove_nodes([*dqs, q])
+                rewritten += 1
+                changed = True
+                break
+        return rewritten

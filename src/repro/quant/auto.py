@@ -1,0 +1,148 @@
+"""Automatic post-training quantization for ``quantize=True`` backends.
+
+:func:`auto_quantize` is the single choke point both
+:class:`~repro.runtime.session.InferenceSession` and
+:func:`~repro.engine.compiler.compile_graph` call when the selected
+backend carries ``quantize=True`` (the built-in ``int8`` backend): it
+calibrates the *optimised* float graph on deterministic synthetic batches
+shaped like the graph's inputs, then applies the QDQ transform of
+:mod:`repro.quant.quantize`.
+
+Calibration is the expensive half (it runs full float inference per
+batch), and serving cold-starts the same model repeatedly — so observed
+ranges are memoised in a process-wide cache keyed by the graph's digest
+plus every calibration knob. The cache is shared mutable state touched by
+concurrent session preparations (the serve pool prepares workers in
+parallel), hence the ``# guarded-by:`` discipline checked by the ORL
+concurrency lint.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.ir.graph import Graph
+from repro.quant.observers import QuantParams
+from repro.quant.quantize import QuantizationReport, calibrate, quantize_graph
+
+#: Default number of synthetic calibration batches.
+DEFAULT_CALIBRATION_BATCHES = 4
+
+
+class _CalibrationCache:
+    """Process-wide memo of calibrated ranges, keyed by graph digest."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        self._lock = threading.Lock()
+        self._capacity = capacity
+        self._entries = {}  # guarded-by: _lock
+        self._hits = 0      # guarded-by: _lock
+        self._misses = 0    # guarded-by: _lock
+
+    def get(self, key: tuple) -> dict[str, QuantParams] | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            return dict(entry)
+
+    def put(self, key: tuple, ranges: Mapping[str, QuantParams]) -> None:
+        with self._lock:
+            if key not in self._entries and len(self._entries) >= self._capacity:
+                # Drop the oldest insertion: calibration is deterministic,
+                # so eviction only costs a recomputation, never correctness.
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = dict(ranges)
+
+    def stats(self) -> tuple[int, int, int]:
+        """(entries, hits, misses) — for tests and diagnostics."""
+        with self._lock:
+            return len(self._entries), self._hits, self._misses
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+_CACHE = _CalibrationCache()
+
+
+def calibration_cache_stats() -> tuple[int, int, int]:
+    """(entries, hits, misses) of the process-wide calibration cache."""
+    return _CACHE.stats()
+
+
+def clear_calibration_cache() -> None:
+    _CACHE.clear()
+
+
+def synthetic_calibration_feeds(
+    graph: Graph, batches: int = DEFAULT_CALIBRATION_BATCHES, seed: int = 0,
+) -> list[dict[str, np.ndarray]]:
+    """Deterministic feed dicts shaped like the graph's float inputs.
+
+    4-D NCHW inputs get the image-statistics generator the benchmark
+    harness feeds (so calibrated ranges match benchmarked activations);
+    anything else gets seeded standard-normal noise. Symbolic (-1)
+    dimensions resolve to 1.
+    """
+    from repro.bench.workloads import synthetic_image_batch
+
+    feeds: list[dict[str, np.ndarray]] = []
+    for index in range(batches):
+        feed: dict[str, np.ndarray] = {}
+        for value in graph.inputs:
+            shape = tuple(1 if dim < 0 else dim for dim in value.shape)
+            if len(shape) == 4:
+                array = synthetic_image_batch(shape, seed=seed + index)
+            else:
+                rng = np.random.default_rng(seed + index)
+                array = rng.standard_normal(shape).astype(np.float32)
+            feed[value.name] = array
+        feeds.append(feed)
+    return feeds
+
+
+def calibrated_ranges(
+    graph: Graph,
+    observer: str = "minmax",
+    batches: int = DEFAULT_CALIBRATION_BATCHES,
+    seed: int = 0,
+) -> dict[str, QuantParams]:
+    """Calibrate ``graph`` on synthetic feeds, memoised by graph digest."""
+    # Imported lazily: the engine package imports repro.__version__, which
+    # is still initialising when repro/__init__ registers the quant ops.
+    from repro.engine.fingerprint import graph_digest
+
+    key = (graph_digest(graph), observer, batches, seed)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    ranges = calibrate(
+        graph, synthetic_calibration_feeds(graph, batches=batches, seed=seed),
+        observer=observer)
+    _CACHE.put(key, ranges)
+    return ranges
+
+
+def auto_quantize(
+    graph: Graph,
+    observer: str = "minmax",
+    batches: int = DEFAULT_CALIBRATION_BATCHES,
+    seed: int = 0,
+) -> tuple[Graph, QuantizationReport]:
+    """Calibrate and quantize an already-optimised float graph.
+
+    Returns the quantized graph and the transform report. The input graph
+    is never mutated. Deterministic: same graph, same knobs, same result.
+    """
+    ranges = calibrated_ranges(
+        graph, observer=observer, batches=batches, seed=seed)
+    return quantize_graph(graph, ranges)

@@ -46,9 +46,23 @@ class QuantParams:
 
 
 def activation_params(low: float, high: float) -> QuantParams:
-    """Asymmetric uint8 parameters covering [low, high] (must include 0)."""
-    low = min(float(low), 0.0)
-    high = max(float(high), 0.0)
+    """Asymmetric uint8 parameters covering [low, high] (must include 0).
+
+    Degenerate ranges are legal inputs, not crashes: an all-negative range
+    clamps ``high`` to 0, a constant-valued tensor (``low == high``, e.g. a
+    dead-ReLU activation that calibrated to all zeros) widens to a minimum
+    span instead of dividing by zero. Non-finite bounds are rejected here
+    so the failure names the calibration problem rather than surfacing as
+    an invalid-scale error deep in the transform.
+    """
+    low = float(low)
+    high = float(high)
+    if not (np.isfinite(low) and np.isfinite(high)):
+        raise QuantizationError(
+            f"non-finite calibration range [{low}, {high}]; the observers "
+            "ignore NaN/inf samples, so this range was supplied directly")
+    low = min(low, 0.0)
+    high = max(high, 0.0)
     if high - low < 1e-6:  # degenerate/denormal range would underflow scale
         high = low + 1e-6
     scale = (high - low) / 255.0
@@ -76,7 +90,14 @@ def weight_params_per_channel(weight: np.ndarray) -> tuple[np.ndarray, np.ndarra
 
 
 class MinMaxObserver:
-    """Tracks the global min/max of every batch it sees."""
+    """Tracks the global min/max of every batch it sees.
+
+    NaN/inf samples are excluded from the range (a batch that is entirely
+    non-finite contributes nothing); all-negative and constant-valued
+    ranges are handled downstream by :func:`activation_params`, which
+    clamps to include zero and widens zero-width ranges instead of
+    dividing by zero.
+    """
 
     def __init__(self) -> None:
         self.low = np.inf
@@ -86,8 +107,17 @@ class MinMaxObserver:
     def observe(self, x: np.ndarray) -> None:
         if x.size == 0:
             return
-        self.low = min(self.low, float(x.min()))
-        self.high = max(self.high, float(x.max()))
+        low = float(x.min())
+        high = float(x.max())
+        if not (np.isfinite(low) and np.isfinite(high)):
+            # Slow path, only on poisoned data: min/max over finite entries.
+            finite = x[np.isfinite(x)]
+            if finite.size == 0:
+                return
+            low = float(finite.min())
+            high = float(finite.max())
+        self.low = min(self.low, low)
+        self.high = max(self.high, high)
         self.count += 1
 
     def params(self) -> QuantParams:
@@ -100,23 +130,42 @@ class PercentileObserver:
     """Clips the range to percentiles, discarding outlier activations.
 
     Retains per-batch percentile estimates and merges them by averaging —
-    an approximation that avoids storing full histograms.
+    an approximation that avoids storing full histograms. Batches larger
+    than ``max_samples`` are subsampled with a *seeded* generator before
+    the percentile sort, bounding calibration cost; the seed makes two
+    calibrations of the same graph over the same batches produce bitwise
+    identical quantization parameters — determinism is part of the
+    measurement contract. NaN/inf samples are excluded like in
+    :class:`MinMaxObserver`.
     """
 
-    def __init__(self, percentile: float = 99.9) -> None:
+    def __init__(self, percentile: float = 99.9,
+                 max_samples: int = 1 << 16, seed: int = 0) -> None:
         if not 50.0 < percentile <= 100.0:
             raise QuantizationError(
                 f"percentile must be in (50, 100], got {percentile}")
+        if max_samples < 1:
+            raise QuantizationError(
+                f"max_samples must be positive, got {max_samples}")
         self.percentile = percentile
+        self.max_samples = max_samples
+        self._rng = np.random.default_rng(seed)
         self._lows: list[float] = []
         self._highs: list[float] = []
 
     def observe(self, x: np.ndarray) -> None:
         if x.size == 0:
             return
+        flat = x.reshape(-1)
+        if flat.size > self.max_samples:
+            flat = flat[self._rng.integers(
+                0, flat.size, size=self.max_samples)]
+        finite = flat[np.isfinite(flat)]
+        if finite.size == 0:
+            return
         tail = 100.0 - self.percentile
-        self._lows.append(float(np.percentile(x, tail)))
-        self._highs.append(float(np.percentile(x, self.percentile)))
+        self._lows.append(float(np.percentile(finite, tail)))
+        self._highs.append(float(np.percentile(finite, self.percentile)))
 
     def params(self) -> QuantParams:
         if not self._lows:

@@ -142,6 +142,18 @@ def qlinear_conv(
     return [out.astype(np.uint8)]
 
 
+# The exact implementations double as the chains' canonical last resort:
+# `Backend.candidates` appends an applicable kernel literally named
+# "reference" so every quantized fallback chain bottoms out on the
+# bit-exact formulation, mirroring the float Conv chains.
+kernel("QuantizeLinear", "reference", priority=-100,
+       experimental=True)(quantize_linear)
+kernel("DequantizeLinear", "reference", priority=-100,
+       experimental=True)(dequantize_linear)
+kernel("QLinearConv", "reference", priority=-100,
+       experimental=True)(qlinear_conv)
+
+
 def _depthwise_accumulate(
     padded: np.ndarray, w_shifted: np.ndarray, params
 ) -> np.ndarray:

@@ -1,10 +1,20 @@
 """Post-training quantization: the QDQ graph transform.
 
 ``quantize_graph`` converts every convolution in a calibrated graph to
-``QuantizeLinear -> QLinearConv -> DequantizeLinear`` islands, then removes
-redundant Dequantize/Quantize pairs between adjacent convolutions so chains
-of convs stay in the integer domain. Non-conv ops keep their float kernels —
-the standard mixed-precision deployment shape.
+``QuantizeLinear -> QLinearConv -> DequantizeLinear`` islands, then grows
+the islands into regions with the boundary passes in
+:mod:`repro.passes.qdq`: identity DQ/Q pairs between adjacent convolutions
+are cancelled, and MaxPool/Concat nodes sitting between quantized convs
+are commuted into the uint8 domain. Ops that cannot commute exactly
+(AveragePool, residual Add, Gemm) keep their float kernels — the standard
+mixed-precision deployment shape, and the structural form of "fall back
+instead of degrading silently".
+
+:func:`unify_ranges` makes the commuting legal: before islands are built,
+values related by a range-preserving op (MaxPool input/output, every leg
+of a Concat) are forced to share one quantization range — the union, which
+is always a valid (merely coarser) choice — so the boundary passes find
+bitwise-equal parameters in exactly the spots they need them.
 
 Calibration runs the *optimised* float graph over user-supplied batches and
 records every value's range (min-max by default, percentile optionally).
@@ -26,6 +36,7 @@ from repro.quant.observers import (
     MinMaxObserver,
     PercentileObserver,
     QuantParams,
+    activation_params,
     weight_params_per_channel,
 )
 from repro.runtime.executor import Executor
@@ -81,11 +92,71 @@ class QuantizationReport:
     converted_convs: int
     skipped_convs: int
     removed_roundtrips: int
+    commuted_pools: int = 0
+    unified_ranges: int = 0
 
     def __str__(self) -> str:
         return (f"quantized {self.converted_convs} convs "
                 f"({self.skipped_convs} skipped), removed "
-                f"{self.removed_roundtrips} DQ/Q round-trips")
+                f"{self.removed_roundtrips} DQ/Q round-trips, "
+                f"commuted {self.commuted_pools} pooling/concat nodes "
+                f"into uint8")
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-ready form, stored in engine headers and bench documents."""
+        return dataclasses.asdict(self)
+
+
+def _params_bounds(params: QuantParams) -> tuple[float, float]:
+    """The float range ``[low, high]`` a uint8 QuantParams covers."""
+    info = np.iinfo(params.dtype)
+    low = (info.min - params.zero_point) * params.scale
+    high = (info.max - params.zero_point) * params.scale
+    return low, high
+
+
+def unify_ranges(
+    graph: Graph, ranges: Mapping[str, QuantParams],
+) -> tuple[dict[str, QuantParams], int]:
+    """Force range-preserving op groups to share one quantization range.
+
+    MaxPool output values are a subset of input values, and a Concat's
+    output is exactly the multiset union of its inputs — so quantizing
+    every value in such a group with the *union* of the calibrated ranges
+    is always valid, merely (marginally) coarser for some members. The
+    payoff: the Q/DQ nodes the island transform later places around these
+    ops quote bitwise-equal parameters, which is the precondition for
+    :class:`repro.passes.qdq.CommuteQDQPooling` to pull the op into the
+    uint8 domain.
+
+    Returns the adjusted copy of ``ranges`` and how many values changed.
+    """
+    unified = dict(ranges)
+    adjusted: set[str] = set()
+    for _ in range(8):  # fixpoint: groups can chain (pool into concat)
+        changed = False
+        for node in graph.nodes:
+            if node.op_type == "MaxPool":
+                if len(node.outputs) != 1:
+                    continue
+                group = [node.inputs[0], node.outputs[0]]
+            elif node.op_type == "Concat":
+                group = [*node.inputs, node.outputs[0]]
+            else:
+                continue
+            if any(name not in unified for name in group):
+                continue
+            bounds = [_params_bounds(unified[name]) for name in group]
+            shared = activation_params(
+                min(low for low, _ in bounds), max(high for _, high in bounds))
+            for name in group:
+                if unified[name] != shared:
+                    unified[name] = shared
+                    adjusted.add(name)
+                    changed = True
+        if not changed:
+            break
+    return unified, len(adjusted)
 
 
 def quantize_graph(
@@ -98,6 +169,7 @@ def quantize_graph(
     (non-depthwise) weights, are left in float.
     """
     out = graph.copy()
+    ranges, unified = unify_ranges(out, ranges)
     converted = 0
     skipped = 0
     counter = 0
@@ -108,6 +180,11 @@ def quantize_graph(
         return f"q_{hint}_{counter}"
 
     new_nodes: list[Node] = []
+    # One QuantizeLinear per source value: a float value feeding several
+    # quantized convs (SqueezeNet's squeeze -> expand1x1 + expand3x3) is
+    # quantized once and shared, which also lets CancelQDQ collapse the
+    # producing conv's DQ against the single shared Q.
+    quantized_inputs: dict[str, str] = {}
     for node in out.toposort():
         if node.op_type != "Conv":
             new_nodes.append(node)
@@ -128,17 +205,20 @@ def quantize_graph(
         w_scales, w_q = weight_params_per_channel(weight)
 
         names = _QNames(fresh)
+        # Quant params are stored 1-element 1-D (never 0-D): the ONNX
+        # round-trip inside engine serialization widens 0-D initializers
+        # to shape (1,), and the verifier would flag the drift as ORV104.
         out.initializers[names.x_scale] = np.asarray(
-            x_params.scale, dtype=np.float32)
+            [x_params.scale], dtype=np.float32)
         out.initializers[names.x_zp] = np.asarray(
-            x_params.zero_point, dtype=np.uint8)
+            [x_params.zero_point], dtype=np.uint8)
         out.initializers[names.w] = w_q
         out.initializers[names.w_scale] = w_scales
         out.initializers[names.w_zp] = np.zeros(1, dtype=np.int8)
         out.initializers[names.y_scale] = np.asarray(
-            y_params.scale, dtype=np.float32)
+            [y_params.scale], dtype=np.float32)
         out.initializers[names.y_zp] = np.asarray(
-            y_params.zero_point, dtype=np.uint8)
+            [y_params.zero_point], dtype=np.uint8)
 
         q_inputs = [x_name, names.x_scale, names.x_zp,
                     names.w, names.w_scale, names.w_zp,
@@ -156,11 +236,14 @@ def quantize_graph(
             out.initializers[names.bias] = bias_q
             q_inputs.append(names.bias)
 
-        x_q = fresh("xq")
+        x_q = quantized_inputs.get(x_name)
+        if x_q is None:
+            x_q = fresh("xq")
+            new_nodes.append(Node(
+                "QuantizeLinear", [x_name, names.x_scale, names.x_zp], [x_q],
+                name=fresh("quant")))
+            quantized_inputs[x_name] = x_q
         y_q = fresh("yq")
-        new_nodes.append(Node(
-            "QuantizeLinear", [x_name, names.x_scale, names.x_zp], [x_q],
-            name=fresh("quant")))
         q_inputs[0] = x_q
         new_nodes.append(Node(
             "QLinearConv", q_inputs, [y_q],
@@ -170,12 +253,13 @@ def quantize_graph(
             name=fresh("dequant")))
         converted += 1
     out.nodes = new_nodes
-    removed = _remove_roundtrips(out)
+    removed, commuted = _grow_regions(out)
     out.prune_initializers()
     out.validate()
     return out, QuantizationReport(
         converted_convs=converted, skipped_convs=skipped,
-        removed_roundtrips=removed)
+        removed_roundtrips=removed, commuted_pools=commuted,
+        unified_ranges=unified)
 
 
 class _QNames:
@@ -192,44 +276,17 @@ class _QNames:
         self.bias = fresh("bias_int32")
 
 
-def _remove_roundtrips(graph: Graph) -> int:
-    """Collapse ``DequantizeLinear -> QuantizeLinear`` with equal params.
-
-    After conversion, a conv feeding another conv produces
-    ``... -> DQ(y_scale) -> Q(x_scale) -> ...`` where both sides quote the
-    same calibrated range; the pair is the identity on uint8 and is removed,
-    keeping the chain in the integer domain.
-    """
+def _grow_regions(graph: Graph) -> tuple[int, int]:
+    """Run the boundary passes to a fixed point: (roundtrips, commuted)."""
+    from repro.passes.qdq import CancelQDQ, CommuteQDQPooling
+    cancel = CancelQDQ()
+    commute = CommuteQDQPooling()
     removed = 0
-    changed = True
-    while changed:
-        changed = False
-        producers = graph.producers()
-        consumers = graph.consumers()
-        for node in graph.nodes_by_type("QuantizeLinear"):
-            upstream = producers.get(node.inputs[0])
-            if upstream is None or upstream.op_type != "DequantizeLinear":
-                continue
-            if len(consumers.get(upstream.outputs[0], ())) != 1:
-                continue
-            if upstream.outputs[0] in graph.output_names:
-                continue
-            dq_scale = graph.initializers.get(upstream.inputs[1])
-            dq_zp = graph.initializers.get(upstream.inputs[2])
-            q_scale = graph.initializers.get(node.inputs[1])
-            q_zp = graph.initializers.get(node.inputs[2])
-            if any(v is None for v in (dq_scale, dq_zp, q_scale, q_zp)):
-                continue
-            if not (np.allclose(dq_scale, q_scale)
-                    and np.array_equal(
-                        np.asarray(dq_zp).reshape(-1),
-                        np.asarray(q_zp).reshape(-1))):
-                continue
-            source = upstream.inputs[0]
-            for consumer in graph.nodes:
-                consumer.replace_input(node.outputs[0], source)
-            graph.remove_nodes([upstream, node])
-            removed += 1
-            changed = True
-            break
-    return removed
+    commuted = 0
+    while True:
+        cancelled = cancel.apply(graph)
+        pulled = commute.apply(graph)
+        removed += cancelled
+        commuted += pulled
+        if not cancelled and not pulled:
+            return removed, commuted

@@ -148,6 +148,7 @@ class InferenceSession:
         self.config = base
         self.backend = backend
         self.loaded_engine: "Engine | None" = None
+        self.quantization: "dict[str, int] | None" = None
         if engine is not None:
             from repro.engine.fingerprint import graph_digest
             try:
@@ -164,6 +165,10 @@ class InferenceSession:
             # Imported lazily: passes import ops/kernels, which import ir.
             from repro.passes import default_pipeline
             working = default_pipeline().run(working)
+        if backend.quantize:
+            from repro.quant.auto import auto_quantize
+            working, report = auto_quantize(working)
+            self.quantization = report.as_dict()
         self.graph = working
         self._executor = Executor(working, backend, base)
         self.memory_admission = self._admit()
@@ -196,6 +201,11 @@ class InferenceSession:
         self._executor = Executor(
             loaded.graph, self.backend, self.config, prepared=prepared)
         self.loaded_engine = loaded
+        # The engine's graph is already quantized (scales and int8 weights
+        # frozen at compile time); surface the stored report so warm and
+        # cold sessions are indistinguishable to callers.
+        self.quantization = (None if loaded.quantization is None
+                             else dict(loaded.quantization))
 
     @classmethod
     def from_engine(

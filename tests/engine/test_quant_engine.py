@@ -1,0 +1,116 @@
+"""Engine format v2: frozen quantization parameters and their verifier rules.
+
+Compiling with a ``quantize=True`` backend freezes the quantization report
+into the ``.oeng`` header; the verifier's ORV114/ORV115 rules then gate
+scale/zero-point sanity and header/graph agreement, and a warm start from
+the engine must reproduce the cold session bitwise.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.quant  # noqa: F401  (registers quantized kernels)
+from repro.engine import compile_graph, load_engine, save_engine
+from repro.engine.format import ENGINE_FORMAT_VERSION, parse_engine, serialize_engine
+from repro.errors import EngineError
+from repro.lint.verify import verify_engine, verify_graph
+from repro.runtime.session import InferenceSession
+from tests.conftest import tiny_classifier
+
+
+@pytest.fixture(scope="module")
+def int8_engine():
+    return compile_graph(tiny_classifier(), backend="int8")
+
+
+class TestQuantizationHeader:
+    def test_compile_freezes_report(self, int8_engine):
+        assert int8_engine.quantization is not None
+        assert int8_engine.quantization["converted_convs"] >= 1
+        assert any(node.op_type == "QLinearConv"
+                   for node in int8_engine.graph.nodes)
+
+    def test_float_engine_has_null_header(self):
+        engine = compile_graph(tiny_classifier(), backend="orpheus")
+        assert engine.quantization is None
+        parsed = parse_engine(serialize_engine(engine))
+        assert parsed.quantization is None
+
+    def test_roundtrip_preserves_quantization(self, int8_engine):
+        parsed = parse_engine(serialize_engine(int8_engine))
+        assert parsed.quantization == int8_engine.quantization
+        assert ENGINE_FORMAT_VERSION == 2  # v2 added the quant header
+
+    def test_serialization_is_byte_stable(self, int8_engine):
+        assert serialize_engine(int8_engine) == serialize_engine(int8_engine)
+
+    def test_info_exposes_quantization(self, int8_engine):
+        assert int8_engine.info()["quantization"] == \
+            int8_engine.quantization
+
+    def test_negative_count_rejected_at_parse(self, int8_engine):
+        bad = dataclasses.replace(
+            int8_engine, quantization={"converted_convs": -1})
+        with pytest.raises(EngineError):
+            parse_engine(serialize_engine(bad))
+
+
+class TestVerifierRules:
+    def test_clean_int8_engine_verifies(self, int8_engine):
+        assert verify_engine(int8_engine) == []
+
+    def test_orv114_nonpositive_scale(self, int8_engine):
+        graph = int8_engine.graph.copy()
+        scale_name = next(
+            node.inputs[6] for node in graph.nodes
+            if node.op_type == "QLinearConv")
+        graph.initializers[scale_name] = np.asarray([0.0], dtype=np.float32)
+        findings = [f for f in verify_graph(graph) if f.rule == "ORV114"]
+        assert findings, "zero scale must trip ORV114"
+
+    def test_orv114_nonfinite_scale(self, int8_engine):
+        graph = int8_engine.graph.copy()
+        scale_name = next(
+            node.inputs[1] for node in graph.nodes
+            if node.op_type == "QuantizeLinear")
+        graph.initializers[scale_name] = np.asarray(
+            [np.nan], dtype=np.float32)
+        assert any(f.rule == "ORV114" for f in verify_graph(graph))
+
+    def test_orv114_zero_point_out_of_range(self, int8_engine):
+        graph = int8_engine.graph.copy()
+        zp_name = next(
+            node.inputs[2] for node in graph.nodes
+            if node.op_type == "QuantizeLinear")
+        graph.initializers[zp_name] = np.asarray([999], dtype=np.int32)
+        assert any(f.rule == "ORV114" for f in verify_graph(graph))
+
+    def test_orv115_header_count_mismatch(self, int8_engine):
+        report = dict(int8_engine.quantization)
+        report["converted_convs"] += 1
+        tampered = dataclasses.replace(int8_engine, quantization=report)
+        assert any(f.rule == "ORV115" for f in verify_engine(tampered))
+
+    def test_orv115_missing_report(self, int8_engine):
+        tampered = dataclasses.replace(int8_engine, quantization=None)
+        assert any(f.rule == "ORV115" for f in verify_engine(tampered))
+
+
+class TestWarmStart:
+    def test_warm_session_matches_cold_bitwise(self, int8_engine, tmp_path,
+                                               rng):
+        path = str(tmp_path / "tiny-int8.oeng")
+        save_engine(int8_engine, path)
+        loaded = load_engine(path)
+        assert loaded.quantization == int8_engine.quantization
+
+        x = rng.standard_normal((1, 3, 8, 8)).astype(np.float32)
+        cold = InferenceSession(tiny_classifier(), backend="int8")
+        warm = InferenceSession.from_engine(path)
+        assert warm.quantization == cold.quantization
+        cold_out = cold.run({"input": x})
+        warm_out = warm.run({"input": x})
+        for name in cold_out:
+            np.testing.assert_array_equal(cold_out[name], warm_out[name])

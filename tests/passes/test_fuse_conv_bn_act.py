@@ -1,0 +1,107 @@
+"""Fusion-pass equivalence: the Conv+BN+Act triple pass vs the pair passes.
+
+The contract pinned here is *bitwise* agreement: ``FuseConvBnAct`` shares
+``FoldBatchNorm._fold`` and ``FuseConvActivation._classify``, so a graph
+rewritten by the triple pass must match one rewritten by the two-pass
+composition exactly — same folded weights, same fused attrs, same outputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir.builder import GraphBuilder
+from repro.passes import FoldBatchNorm, FuseConvActivation, FuseConvBnAct
+from repro.runtime.session import InferenceSession
+from tests.conftest import tiny_classifier
+
+
+def _conv_bn_act_graph(activation="relu", seed=3):
+    builder = GraphBuilder("triple", seed=seed)
+    x = builder.input("input", (1, 3, 10, 10))
+    y = builder.conv(x, 8, 3, pad=1)
+    y = builder.batch_norm(y)
+    y = builder.relu6(y) if activation == "relu6" else builder.relu(y)
+    y = builder.conv(y, 4, 3, pad=1)
+    y = builder.batch_norm(y)
+    y = builder.relu(y)
+    builder.output(y)
+    return builder.finish()
+
+
+def _run(graph, x):
+    session = InferenceSession(graph, backend="orpheus", optimize=False)
+    outputs = session.run({"input": x})
+    return outputs[graph.outputs[0].name]
+
+
+@pytest.mark.parametrize("activation", ["relu", "relu6"])
+def test_triple_pass_bitwise_matches_pair_composition(activation, rng):
+    graph = _conv_bn_act_graph(activation)
+    x = rng.standard_normal((1, 3, 10, 10)).astype(np.float32)
+
+    fused = graph.copy()
+    assert FuseConvBnAct().apply(fused) == 2
+
+    paired = graph.copy()
+    assert FoldBatchNorm().apply(paired) == 2
+    assert FuseConvActivation().apply(paired) == 2
+
+    # Same structure, same folded weights, same attrs.
+    assert [n.op_type for n in fused.nodes] == \
+        [n.op_type for n in paired.nodes]
+    for a, b in zip(fused.nodes, paired.nodes):
+        assert a.attrs.as_dict() == b.attrs.as_dict()
+    for name, array in fused.initializers.items():
+        np.testing.assert_array_equal(array, paired.initializers[name])
+
+    # And bitwise-equal execution against each other and shape-equal
+    # against the unfused float reference (fusion changes rounding of the
+    # BN arithmetic, so the reference comparison is tolerance-based).
+    np.testing.assert_array_equal(_run(fused, x), _run(paired, x))
+    np.testing.assert_allclose(
+        _run(fused, x), _run(graph, x), rtol=1e-4, atol=1e-5)
+
+
+def test_fused_node_carries_activation_attr():
+    graph = _conv_bn_act_graph()
+    FuseConvBnAct().apply(graph)
+    convs = graph.nodes_by_type("Conv")
+    assert all("activation" in node.attrs for node in convs)
+    assert not graph.nodes_by_type("BatchNormalization")
+    assert not graph.nodes_by_type("Relu")
+
+
+def test_shared_pre_bn_value_blocks_fusion(rng):
+    builder = GraphBuilder("shared", seed=0)
+    x = builder.input("input", (1, 3, 8, 8))
+    y = builder.conv(x, 4, 3, pad=1)
+    z = builder.batch_norm(y)
+    z = builder.relu(z)
+    # The conv output feeds a second consumer: folding BN into the conv
+    # would change that consumer's value.
+    w = builder.relu(y)
+    builder.output(builder.add(z, w))
+    graph = builder.finish()
+    assert FuseConvBnAct().apply(graph.copy()) == 0
+
+
+def test_graph_output_boundary_blocks_fusion():
+    builder = GraphBuilder("boundary", seed=0)
+    x = builder.input("input", (1, 3, 8, 8))
+    y = builder.conv(x, 4, 3, pad=1)
+    z = builder.batch_norm(y)
+    builder.output(z)  # BN output is a graph output: no activation follows
+    graph = builder.finish()
+    assert FuseConvBnAct().apply(graph.copy()) == 0
+
+
+def test_tiny_classifier_end_to_end_equivalence(rng):
+    graph = tiny_classifier()
+    x = rng.standard_normal((1, 3, 8, 8)).astype(np.float32)
+    fused = graph.copy()
+    paired = graph.copy()
+    triple_count = FuseConvBnAct().apply(fused)
+    FoldBatchNorm().apply(paired)
+    FuseConvActivation().apply(paired)
+    assert triple_count >= 1
+    np.testing.assert_array_equal(_run(fused, x), _run(paired, x))

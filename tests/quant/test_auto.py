@@ -1,0 +1,90 @@
+"""Automatic quantization and the process-wide calibration cache."""
+
+import numpy as np
+import pytest
+
+import repro.quant  # noqa: F401  (registers quantized kernels)
+from repro.quant.auto import (
+    _CalibrationCache,
+    auto_quantize,
+    calibration_cache_stats,
+    calibrated_ranges,
+    clear_calibration_cache,
+    synthetic_calibration_feeds,
+)
+from tests.conftest import tiny_classifier
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_calibration_cache()
+    yield
+    clear_calibration_cache()
+
+
+class TestCalibrationCache:
+    def test_second_calibration_hits(self):
+        graph = tiny_classifier()
+        first = calibrated_ranges(graph)
+        second = calibrated_ranges(graph)
+        assert first == second
+        entries, hits, misses = calibration_cache_stats()
+        assert (entries, hits, misses) == (1, 1, 1)
+
+    def test_knobs_key_the_cache(self):
+        graph = tiny_classifier()
+        calibrated_ranges(graph, batches=2)
+        calibrated_ranges(graph, batches=3)
+        entries, hits, misses = calibration_cache_stats()
+        assert entries == 2 and hits == 0 and misses == 2
+
+    def test_capacity_evicts_oldest(self):
+        cache = _CalibrationCache(capacity=2)
+        cache.put(("a",), {})
+        cache.put(("b",), {})
+        cache.put(("c",), {})
+        assert cache.get(("a",)) is None      # evicted
+        assert cache.get(("b",)) is not None  # kept
+        assert cache.get(("c",)) is not None
+
+    def test_get_returns_a_copy(self):
+        cache = _CalibrationCache()
+        cache.put(("k",), {"v": 1})
+        cache.get(("k",))["poisoned"] = True
+        assert cache.get(("k",)) == {"v": 1}
+
+
+class TestSyntheticFeeds:
+    def test_deterministic(self):
+        graph = tiny_classifier()
+        a = synthetic_calibration_feeds(graph, batches=2, seed=5)
+        b = synthetic_calibration_feeds(graph, batches=2, seed=5)
+        assert len(a) == len(b) == 2
+        for feed_a, feed_b in zip(a, b):
+            for name in feed_a:
+                np.testing.assert_array_equal(feed_a[name], feed_b[name])
+
+    def test_batches_differ_from_each_other(self):
+        graph = tiny_classifier()
+        feeds = synthetic_calibration_feeds(graph, batches=2, seed=0)
+        name = graph.inputs[0].name
+        assert not np.array_equal(feeds[0][name], feeds[1][name])
+
+
+class TestAutoQuantize:
+    def test_deterministic_and_non_mutating(self):
+        graph = tiny_classifier()
+        before_nodes = [node.op_type for node in graph.nodes]
+        first, report_a = auto_quantize(graph)
+        second, report_b = auto_quantize(graph)
+        assert report_a == report_b
+        assert [node.op_type for node in graph.nodes] == before_nodes
+        assert [node.op_type for node in first.nodes] == \
+            [node.op_type for node in second.nodes]
+        for name, array in first.initializers.items():
+            np.testing.assert_array_equal(array, second.initializers[name])
+
+    def test_reports_conversions(self):
+        quantized, report = auto_quantize(tiny_classifier())
+        assert report.converted_convs >= 1
+        assert any(node.op_type == "QLinearConv" for node in quantized.nodes)

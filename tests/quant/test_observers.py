@@ -116,3 +116,75 @@ class TestObservers:
         observer.observe(np.array([]))
         with pytest.raises(QuantizationError):
             observer.params()
+
+
+class TestObserverEdgeCases:
+    """All-negative, constant, and poisoned tensors must calibrate, not crash."""
+
+    def test_all_negative_range_clamps_to_zero(self):
+        observer = MinMaxObserver()
+        observer.observe(np.array([-5.0, -1.0], np.float32))
+        params = observer.params()
+        # uint8 asymmetric params must cover [-5, 0]; zero is representable.
+        assert params.quantize(np.zeros(1))[0] == params.zero_point == 255
+        assert params.dequantize(params.quantize(np.array([-5.0])))[0] == \
+            pytest.approx(-5.0, abs=params.scale)
+
+    def test_constant_tensor_no_divide_by_zero(self):
+        observer = MinMaxObserver()
+        observer.observe(np.full(16, 3.25, np.float32))
+        params = observer.params()
+        assert params.scale > 0 and np.isfinite(params.scale)
+
+    def test_constant_zero_tensor(self):
+        observer = MinMaxObserver()
+        observer.observe(np.zeros(16, np.float32))
+        params = observer.params()
+        assert params.scale > 0
+        assert params.quantize(np.zeros(1))[0] == params.zero_point
+
+    def test_minmax_ignores_nonfinite_samples(self):
+        observer = MinMaxObserver()
+        observer.observe(np.array([np.nan, np.inf, -np.inf, -2.0, 4.0]))
+        assert (observer.low, observer.high) == (-2.0, 4.0)
+
+    def test_entirely_nonfinite_batch_contributes_nothing(self):
+        observer = MinMaxObserver()
+        observer.observe(np.array([np.nan, np.inf]))
+        with pytest.raises(QuantizationError, match="no data"):
+            observer.params()
+
+    def test_percentile_ignores_nonfinite_samples(self):
+        observer = PercentileObserver(99.0)
+        poisoned = np.linspace(-1.0, 1.0, 1000).astype(np.float32)
+        poisoned[::100] = np.nan
+        observer.observe(poisoned)
+        params = observer.params()
+        assert np.isfinite(params.scale) and params.scale > 0
+
+    def test_nonfinite_range_rejected_with_clear_error(self):
+        with pytest.raises(QuantizationError, match="non-finite"):
+            activation_params(float("nan"), 1.0)
+        with pytest.raises(QuantizationError, match="non-finite"):
+            activation_params(0.0, float("inf"))
+
+    def test_percentile_subsampling_is_deterministic(self, rng):
+        x = rng.standard_normal(300_000).astype(np.float32)
+        first = PercentileObserver(99.5, max_samples=4096, seed=7)
+        second = PercentileObserver(99.5, max_samples=4096, seed=7)
+        first.observe(x)
+        second.observe(x)
+        assert first.params() == second.params()
+
+    def test_percentile_subsample_approximates_full_range(self, rng):
+        x = rng.standard_normal(200_000).astype(np.float32)
+        full = PercentileObserver(99.0, max_samples=1 << 30)
+        sampled = PercentileObserver(99.0, max_samples=8192)
+        full.observe(x)
+        sampled.observe(x)
+        assert sampled.params().scale == pytest.approx(
+            full.params().scale, rel=0.1)
+
+    def test_percentile_rejects_nonpositive_max_samples(self):
+        with pytest.raises(QuantizationError, match="max_samples"):
+            PercentileObserver(99.0, max_samples=0)
